@@ -1,0 +1,53 @@
+// Customgraph: run the pipeline on a hand-built similarity matrix — the
+// 6-object example from the paper's appendix (Figure 12) — and walk through
+// what the prefix parameter changes. Demonstrates using ClusterMatrix when
+// you already have similarities rather than raw series.
+//
+//	go run ./examples/customgraph
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pfg"
+)
+
+func main() {
+	// Figure 12 of the paper: correlations among 6 objects. Ground truth is
+	// {0,1,2} and {3,4,5}; the corr(2,5)=0.42 entry is noise slightly above
+	// corr(2,1)=0.41.
+	rows := [][]float64{
+		{1, 0.8, 0.4, 0.8, 0.8, 0.4},
+		{0.8, 1, 0.41, 0.9, 0.4, 0},
+		{0.4, 0.41, 1, 0, 0.4, 0.42},
+		{0.8, 0.9, 0, 1, 0.8, 0.8},
+		{0.8, 0.4, 0.4, 0.8, 1, 0.8},
+		{0.4, 0, 0.42, 0.8, 0.8, 1},
+	}
+	sim := &pfg.Matrix{N: 6, Data: make([]float64, 36)}
+	for i := range rows {
+		copy(sim.Data[i*6:(i+1)*6], rows[i])
+	}
+
+	for _, prefix := range []int{1, 3} {
+		edges, weight, err := pfg.TMFG(sim, prefix)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("prefix=%d: TMFG edges %v (weight %.2f)\n", prefix, edges, weight)
+
+		res, err := pfg.ClusterMatrix(sim, nil, pfg.Options{Prefix: prefix})
+		if err != nil {
+			log.Fatal(err)
+		}
+		labels, err := res.Cut(2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ari, _ := pfg.ARI([]int{0, 0, 0, 1, 1, 1}, labels)
+		fmt.Printf("          2-cut labels %v, ARI vs {0,1,2}|{3,4,5}: %.2f\n\n", labels, ari)
+	}
+	fmt.Println("The batched (prefix 3) TMFG avoids the noisy corr(2,5) edge because")
+	fmt.Println("vertices 2 and 5 insert in the same round — the appendix's point.")
+}

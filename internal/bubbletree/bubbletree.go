@@ -1,0 +1,316 @@
+// Package bubbletree implements the bubble tree of Song et al.: a tree whose
+// nodes are "bubbles" (maximal planar subgraphs whose 3-cliques are
+// non-separating) and whose edges are the separating triangles of a maximal
+// planar graph.
+//
+// Two constructions are provided. TMFG construction (package tmfg) builds
+// the tree incrementally in O(n) work using Algorithm 2 of Yu & Shun.
+// BuildGeneric implements the original O(n²) algorithm (triangle enumeration
+// plus separation testing) and works for any maximal planar graph, e.g. the
+// PMFG baseline. DirectEdges implements Algorithm 3 (the linear-work interior
+// versus exterior strength computation), generalized to arbitrary bubble
+// sizes so it applies to both constructions.
+package bubbletree
+
+import (
+	"fmt"
+	"sort"
+
+	"pfg/internal/graph"
+	"pfg/internal/parallel"
+)
+
+// NoVertex marks an unused vertex slot (e.g. the root's separating triangle).
+const NoVertex = int32(-1)
+
+// Node is one bubble in the tree.
+type Node struct {
+	// Vertices of the bubble. TMFG bubbles are 4-cliques; generic bubbles
+	// may be larger. Sorted ascending.
+	Vertices []int32
+	// Sep is the separating triangle shared with the parent bubble
+	// ({NoVertex, NoVertex, NoVertex} for the root).
+	Sep [3]int32
+	// Parent is the parent node id, or -1 for the root.
+	Parent int32
+	// Children are the child node ids.
+	Children []int32
+}
+
+// Tree is a rooted undirected bubble tree. The rooting satisfies the
+// interior invariant: all vertices in the subtree of a non-root node b,
+// other than the corners of b.Sep, lie in the interior of b.Sep.
+type Tree struct {
+	Nodes []Node
+	Root  int32
+}
+
+// NumNodes returns the number of bubbles.
+func (t *Tree) NumNodes() int { return len(t.Nodes) }
+
+// VertexBubbles returns, for each graph vertex, the sorted list of bubble
+// node ids containing it.
+func (t *Tree) VertexBubbles(n int) [][]int32 {
+	out := make([][]int32, n)
+	for b := range t.Nodes {
+		for _, v := range t.Nodes[b].Vertices {
+			out[v] = append(out[v], int32(b))
+		}
+	}
+	return out
+}
+
+// Validate checks structural tree invariants: parent/child consistency, a
+// single root, connectivity, and that every non-root separating triangle is
+// a subset of both its own and its parent's vertices.
+func (t *Tree) Validate() error {
+	if len(t.Nodes) == 0 {
+		return fmt.Errorf("bubbletree: empty tree")
+	}
+	if t.Root < 0 || int(t.Root) >= len(t.Nodes) {
+		return fmt.Errorf("bubbletree: root %d out of range", t.Root)
+	}
+	if t.Nodes[t.Root].Parent != -1 {
+		return fmt.Errorf("bubbletree: root has parent %d", t.Nodes[t.Root].Parent)
+	}
+	seen := make([]bool, len(t.Nodes))
+	queue := []int32{t.Root}
+	seen[t.Root] = true
+	count := 1
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, c := range t.Nodes[b].Children {
+			if int(c) >= len(t.Nodes) || c < 0 {
+				return fmt.Errorf("bubbletree: node %d has bad child %d", b, c)
+			}
+			if t.Nodes[c].Parent != b {
+				return fmt.Errorf("bubbletree: child %d of %d has parent %d", c, b, t.Nodes[c].Parent)
+			}
+			if seen[c] {
+				return fmt.Errorf("bubbletree: node %d reached twice", c)
+			}
+			seen[c] = true
+			count++
+			queue = append(queue, c)
+		}
+	}
+	if count != len(t.Nodes) {
+		return fmt.Errorf("bubbletree: %d of %d nodes reachable from root", count, len(t.Nodes))
+	}
+	for b := range t.Nodes {
+		n := &t.Nodes[b]
+		if int32(b) == t.Root {
+			continue
+		}
+		has := func(vs []int32, x int32) bool {
+			for _, v := range vs {
+				if v == x {
+					return true
+				}
+			}
+			return false
+		}
+		for _, s := range n.Sep {
+			if !has(n.Vertices, s) {
+				return fmt.Errorf("bubbletree: node %d sep vertex %d not in bubble", b, s)
+			}
+			if !has(t.Nodes[n.Parent].Vertices, s) {
+				return fmt.Errorf("bubbletree: node %d sep vertex %d not in parent", b, s)
+			}
+		}
+	}
+	return nil
+}
+
+// SubtreeVertices returns the set of graph vertices appearing in the subtree
+// rooted at b (including b itself), as a sorted slice.
+func (t *Tree) SubtreeVertices(b int32) []int32 {
+	mark := map[int32]bool{}
+	var rec func(x int32)
+	rec = func(x int32) {
+		for _, v := range t.Nodes[x].Vertices {
+			mark[v] = true
+		}
+		for _, c := range t.Nodes[x].Children {
+			rec(c)
+		}
+	}
+	rec(b)
+	out := make([]int32, 0, len(mark))
+	for v := range mark {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SeparatingTriangles returns all triangles of g whose removal disconnects
+// g, in canonical (sorted-corner) order.
+func SeparatingTriangles(g *graph.Graph) [][3]int32 {
+	tris := g.Triangles()
+	sep := make([]bool, len(tris))
+	parallel.ForGrain(len(tris), 1, func(i int) {
+		tr := tris[i]
+		sep[i] = len(g.ComponentsWithout(tr[:])) > 1
+	})
+	var out [][3]int32
+	for i, tr := range tris {
+		if sep[i] {
+			out = append(out, tr)
+		}
+	}
+	return out
+}
+
+// BuildGeneric constructs the bubble tree of a maximal planar graph using
+// the original algorithm: enumerate triangles, test each for separation, and
+// recursively split the graph at separating triangles. The tree is rooted at
+// the bubble with the smallest vertex set start so that the interior
+// invariant holds (any rooting of a bubble tree satisfies it).
+func BuildGeneric(g *graph.Graph) (*Tree, error) {
+	if g.N < 3 {
+		return nil, fmt.Errorf("bubbletree: graph too small (n=%d)", g.N)
+	}
+	sepTris := SeparatingTriangles(g)
+	inSep := make(map[[3]int32]bool, len(sepTris))
+	for _, tr := range sepTris {
+		inSep[tr] = true
+	}
+	all := make([]int32, g.N)
+	for i := range all {
+		all[i] = int32(i)
+	}
+	type bubble struct {
+		verts []int32
+		tris  [][3]int32 // separating triangles of g contained in this bubble
+	}
+	var bubbles []bubble
+	// split recursively decomposes the induced subgraph on verts.
+	var split func(verts []int32)
+	split = func(verts []int32) {
+		inPiece := make(map[int32]bool, len(verts))
+		for _, v := range verts {
+			inPiece[v] = true
+		}
+		// Find a separating triangle of g inside this piece that also
+		// separates the piece.
+		for _, tr := range sepTris {
+			if !inPiece[tr[0]] || !inPiece[tr[1]] || !inPiece[tr[2]] {
+				continue
+			}
+			comps := inducedComponentsWithout(g, verts, tr)
+			if len(comps) < 2 {
+				continue
+			}
+			for _, comp := range comps {
+				side := append(append([]int32{}, comp...), tr[0], tr[1], tr[2])
+				sort.Slice(side, func(i, j int) bool { return side[i] < side[j] })
+				split(side)
+			}
+			return
+		}
+		// No internal separating triangle: this piece is a bubble. Record
+		// which global separating triangles it contains (its boundary).
+		b := bubble{verts: verts}
+		for _, tr := range sepTris {
+			if inPiece[tr[0]] && inPiece[tr[1]] && inPiece[tr[2]] {
+				b.tris = append(b.tris, tr)
+			}
+		}
+		bubbles = append(bubbles, b)
+	}
+	split(all)
+	// Connect bubbles sharing each separating triangle.
+	byTri := make(map[[3]int32][]int32)
+	for i, b := range bubbles {
+		for _, tr := range b.tris {
+			byTri[tr] = append(byTri[tr], int32(i))
+		}
+	}
+	type edge struct {
+		a, b int32
+		tri  [3]int32
+	}
+	var edges []edge
+	for _, tr := range sepTris {
+		owners := byTri[tr]
+		if len(owners) != 2 {
+			return nil, fmt.Errorf("bubbletree: separating triangle %v contained in %d bubbles, want 2", tr, len(owners))
+		}
+		edges = append(edges, edge{a: owners[0], b: owners[1], tri: tr})
+	}
+	// Root at bubble 0 and orient with BFS.
+	t := &Tree{Nodes: make([]Node, len(bubbles)), Root: 0}
+	for i, b := range bubbles {
+		t.Nodes[i] = Node{Vertices: b.verts, Parent: -1, Sep: [3]int32{NoVertex, NoVertex, NoVertex}}
+	}
+	adj := make([][]edge, len(bubbles))
+	for _, e := range edges {
+		adj[e.a] = append(adj[e.a], e)
+		adj[e.b] = append(adj[e.b], edge{a: e.b, b: e.a, tri: e.tri})
+	}
+	visited := make([]bool, len(bubbles))
+	visited[0] = true
+	queue := []int32{0}
+	seen := 1
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[x] {
+			if visited[e.b] {
+				continue
+			}
+			visited[e.b] = true
+			seen++
+			t.Nodes[e.b].Parent = x
+			t.Nodes[e.b].Sep = e.tri
+			t.Nodes[x].Children = append(t.Nodes[x].Children, e.b)
+			queue = append(queue, e.b)
+		}
+	}
+	if seen != len(bubbles) {
+		return nil, fmt.Errorf("bubbletree: bubble graph disconnected (%d of %d)", seen, len(bubbles))
+	}
+	return t, nil
+}
+
+// inducedComponentsWithout returns the connected components of the subgraph
+// induced on verts minus the triangle corners.
+func inducedComponentsWithout(g *graph.Graph, verts []int32, tr [3]int32) [][]int32 {
+	in := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		in[v] = true
+	}
+	in[tr[0]], in[tr[1]], in[tr[2]] = false, false, false
+	comp := make(map[int32]int32)
+	var comps [][]int32
+	for _, s := range verts {
+		if !in[s] {
+			continue
+		}
+		if _, ok := comp[s]; ok {
+			continue
+		}
+		id := int32(len(comps))
+		var members []int32
+		queue := []int32{s}
+		comp[s] = id
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if in[u] {
+					if _, ok := comp[u]; !ok {
+						comp[u] = id
+						queue = append(queue, u)
+					}
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}

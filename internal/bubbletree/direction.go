@@ -1,0 +1,168 @@
+package bubbletree
+
+import (
+	"sort"
+
+	"pfg/internal/graph"
+	"pfg/internal/parallel"
+)
+
+// Directed augments a bubble tree with edge directions computed by
+// Algorithm 3 of Yu & Shun: for every tree edge (separating triangle), the
+// total TMFG edge weight from the triangle to its interior (InVal) and
+// exterior (OutVal) decides the direction. The edge points from the weaker
+// to the stronger side: InVal > OutVal directs the edge from the parent to
+// the child (toward the interior).
+type Directed struct {
+	Tree *Tree
+	// DirDown[b] is true when the edge between non-root b and its parent is
+	// directed parent→b (interior side stronger). Undefined at the root.
+	DirDown []bool
+	InVal   []float64
+	OutVal  []float64
+	// OutDeg[b] is the out-degree of b in the directed tree.
+	OutDeg []int32
+	// Converging lists the node ids with out-degree zero, ascending.
+	Converging []int32
+}
+
+// DirectEdges runs the recursive interior-strength computation on the tree,
+// using g (the filtered graph) for edge weights. It is O(Σ|bubble|) work:
+// linear for TMFG trees. Children are processed with nested parallelism.
+func DirectEdges(t *Tree, g *graph.Graph) *Directed {
+	d := &Directed{
+		Tree:    t,
+		DirDown: make([]bool, len(t.Nodes)),
+		InVal:   make([]float64, len(t.Nodes)),
+		OutVal:  make([]float64, len(t.Nodes)),
+		OutDeg:  make([]int32, len(t.Nodes)),
+	}
+	wdeg := make([]float64, g.N)
+	parallel.For(g.N, func(v int) { wdeg[v] = g.WeightedDegree(int32(v)) })
+	d.visit(t.Root, g, wdeg)
+	// Out-degrees: each non-root edge contributes one out-edge.
+	for b := range t.Nodes {
+		if int32(b) == t.Root {
+			continue
+		}
+		if d.DirDown[b] {
+			d.OutDeg[t.Nodes[b].Parent]++
+		} else {
+			d.OutDeg[b]++
+		}
+	}
+	for b := range t.Nodes {
+		if d.OutDeg[b] == 0 {
+			d.Converging = append(d.Converging, int32(b))
+		}
+	}
+	return d
+}
+
+// visit computes r, the per-corner interior weight sums for node b's
+// separating triangle, recursing over children in parallel.
+func (d *Directed) visit(b int32, g *graph.Graph, wdeg []float64) [3]float64 {
+	node := &d.Tree.Nodes[b]
+	childRes := make([][3]float64, len(node.Children))
+	switch len(node.Children) {
+	case 0:
+	case 1:
+		childRes[0] = d.visit(node.Children[0], g, wdeg)
+	default:
+		fs := make([]func(), len(node.Children))
+		for i := range node.Children {
+			i := i
+			fs[i] = func() { childRes[i] = d.visit(node.Children[i], g, wdeg) }
+		}
+		parallel.Do(fs...)
+	}
+	if node.Parent < 0 {
+		return [3]float64{}
+	}
+	sep := node.Sep
+	var r [3]float64
+	// Edges from the separating triangle's corners to the bubble's own
+	// interior vertices (for TMFG bubbles, the single fourth vertex).
+	for _, v := range node.Vertices {
+		if v == sep[0] || v == sep[1] || v == sep[2] {
+			continue
+		}
+		for i := 0; i < 3; i++ {
+			if w, ok := g.EdgeWeight(sep[i], v); ok {
+				r[i] += w
+			}
+		}
+	}
+	// Children's interiors are also b's interior; planarity guarantees any
+	// edge from a corner into a child's interior has its corner on the
+	// child's separating triangle, so the child's r covers it exactly.
+	for ci, c := range node.Children {
+		csep := d.Tree.Nodes[c].Sep
+		for i := 0; i < 3; i++ {
+			for j := 0; j < 3; j++ {
+				if csep[i] == sep[j] {
+					r[j] += childRes[ci][i]
+				}
+			}
+		}
+	}
+	inVal := r[0] + r[1] + r[2]
+	wxy, _ := g.EdgeWeight(sep[0], sep[1])
+	wxz, _ := g.EdgeWeight(sep[0], sep[2])
+	wyz, _ := g.EdgeWeight(sep[1], sep[2])
+	deg := wdeg[sep[0]] + wdeg[sep[1]] + wdeg[sep[2]]
+	outVal := deg - inVal - 2*(wxy+wxz+wyz)
+	d.InVal[b] = inVal
+	d.OutVal[b] = outVal
+	d.DirDown[b] = inVal > outVal
+	return r
+}
+
+// Neighbors returns the directed out-neighbors of node b in the directed
+// bubble tree.
+func (d *Directed) outNeighbors(b int32) []int32 {
+	var out []int32
+	node := &d.Tree.Nodes[b]
+	if node.Parent >= 0 && !d.DirDown[b] {
+		out = append(out, node.Parent)
+	}
+	for _, c := range node.Children {
+		if d.DirDown[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ReachableConverging returns, for every bubble node, the ascending list of
+// converging-bubble node ids reachable from it by following directed edges
+// (Lines 5–6 of Algorithm 4). Each BFS runs in parallel.
+func (d *Directed) ReachableConverging() [][]int32 {
+	n := len(d.Tree.Nodes)
+	out := make([][]int32, n)
+	isConv := make([]bool, n)
+	for _, c := range d.Converging {
+		isConv[c] = true
+	}
+	parallel.ForGrain(n, 1, func(start int) {
+		visited := map[int32]bool{int32(start): true}
+		queue := []int32{int32(start)}
+		var reach []int32
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if isConv[x] {
+				reach = append(reach, x)
+			}
+			for _, y := range d.outNeighbors(x) {
+				if !visited[y] {
+					visited[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
+		out[start] = reach
+	})
+	return out
+}

@@ -1,0 +1,178 @@
+// Package core wires the substrates into the end-to-end pipelines evaluated
+// in the paper: TMFG+DBHT (the contribution), PMFG+DBHT, complete- and
+// average-linkage HAC, k-means, and spectral k-means. It also records the
+// per-stage timing breakdown reported in Figure 5.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"pfg/internal/bubbletree"
+	"pfg/internal/dbht"
+	"pfg/internal/dendro"
+	"pfg/internal/hac"
+	"pfg/internal/kmeans"
+	"pfg/internal/matrix"
+	"pfg/internal/pmfg"
+	"pfg/internal/spectral"
+	"pfg/internal/tmfg"
+)
+
+// Breakdown is the per-stage wall-clock decomposition of a filtered-graph
+// clustering run, matching the stages of Figure 5: "tmfg" (graph
+// construction, including the on-the-fly bubble tree), "apsp", "bubble-tree"
+// (direction + vertex assignment), and "hierarchy".
+type Breakdown struct {
+	Correlation time.Duration
+	Graph       time.Duration // TMFG or PMFG construction
+	APSP        time.Duration
+	BubbleTree  time.Duration // direction + assignments (+ generic construction for PMFG)
+	Hierarchy   time.Duration
+	Total       time.Duration
+}
+
+// Result is a hierarchical clustering outcome.
+type Result struct {
+	Dendrogram *dendro.Dendrogram
+	// Graph is the filtered graph used (nil for non-graph methods).
+	GraphEdges int
+	// EdgeWeightSum is the similarity captured by the filtered graph.
+	EdgeWeightSum float64
+	// Groups is the number of DBHT groups (converging bubbles used).
+	Groups int
+	// Timings is the stage breakdown.
+	Timings Breakdown
+	// DBHT carries the full DBHT output for inspection (nil for HAC).
+	DBHT *dbht.Result
+}
+
+// TMFGDBHT runs the paper's pipeline on a similarity matrix: TMFG with the
+// given prefix, then DBHT. dis may be nil, in which case √(2(1−s)) is used.
+func TMFGDBHT(sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
+	start := time.Now()
+	var bd Breakdown
+	if dis == nil {
+		dis = matrix.Dissimilarity(sim)
+	}
+	t0 := time.Now()
+	tm, err := tmfg.Build(sim, prefix)
+	if err != nil {
+		return nil, err
+	}
+	bd.Graph = time.Since(t0)
+	res, err := dbht.Build(tm.Graph, tm.Tree, dis)
+	if err != nil {
+		return nil, err
+	}
+	bd.APSP = res.Timings.APSP
+	bd.BubbleTree = res.Timings.Direction + res.Timings.Assign
+	bd.Hierarchy = res.Timings.Hierarchy
+	bd.Total = time.Since(start)
+	return &Result{
+		Dendrogram:    res.Dendrogram,
+		GraphEdges:    tm.Graph.NumEdges(),
+		EdgeWeightSum: tm.EdgeWeightSum(sim),
+		Groups:        len(res.Groups),
+		Timings:       bd,
+		DBHT:          res,
+	}, nil
+}
+
+// PMFGDBHT runs the baseline pipeline: sequential PMFG, the original
+// (generic) bubble tree construction, then DBHT.
+func PMFGDBHT(sim *matrix.Sym, dis *matrix.Sym) (*Result, error) {
+	start := time.Now()
+	var bd Breakdown
+	if dis == nil {
+		dis = matrix.Dissimilarity(sim)
+	}
+	t0 := time.Now()
+	pm, err := pmfg.Build(sim)
+	if err != nil {
+		return nil, err
+	}
+	bd.Graph = time.Since(t0)
+	t0 = time.Now()
+	tree, err := bubbletree.BuildGeneric(pm.Graph)
+	if err != nil {
+		return nil, err
+	}
+	genericTree := time.Since(t0)
+	res, err := dbht.Build(pm.Graph, tree, dis)
+	if err != nil {
+		return nil, err
+	}
+	bd.APSP = res.Timings.APSP
+	bd.BubbleTree = genericTree + res.Timings.Direction + res.Timings.Assign
+	bd.Hierarchy = res.Timings.Hierarchy
+	bd.Total = time.Since(start)
+	return &Result{
+		Dendrogram:    res.Dendrogram,
+		GraphEdges:    pm.Graph.NumEdges(),
+		EdgeWeightSum: pm.EdgeWeightSum(sim),
+		Groups:        len(res.Groups),
+		Timings:       bd,
+		DBHT:          res,
+	}, nil
+}
+
+// HAC runs complete- or average-linkage clustering on a dissimilarity
+// matrix (the COMP and AVG baselines).
+func HAC(dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
+	start := time.Now()
+	d, err := hac.RunMatrix(dis.N, append([]float64{}, dis.Data...), linkage)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Dendrogram: d,
+		Timings:    Breakdown{Hierarchy: time.Since(start), Total: time.Since(start)},
+	}, nil
+}
+
+// Correlate computes the similarity (Pearson) and dissimilarity matrices of
+// a time-series collection.
+func Correlate(series [][]float64) (sim, dis *matrix.Sym, err error) {
+	sim, err = matrix.Pearson(series)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, matrix.Dissimilarity(sim), nil
+}
+
+// CutLabels cuts a result's dendrogram into k clusters.
+func (r *Result) CutLabels(k int) ([]int, error) {
+	if r.Dendrogram == nil {
+		return nil, fmt.Errorf("core: result has no dendrogram")
+	}
+	return r.Dendrogram.Cut(k)
+}
+
+// KMeans clusters raw series with k-means (the K-MEANS baseline; the
+// scalable k-means|| seeding is used, as in the paper's comparison).
+func KMeans(series [][]float64, k int, seed int64) ([]int, error) {
+	res, err := kmeans.Run(series, kmeans.Options{K: k, Seed: seed, Scalable: true})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}
+
+// KMeansSpectral clusters series with a spectral embedding onto k components
+// using β nearest neighbors, then k-means (the K-MEANS-S baseline).
+func KMeansSpectral(series [][]float64, k, beta int, seed int64) ([]int, error) {
+	emb, err := spectral.Embed(series, spectral.Options{
+		Neighbors:  beta,
+		Components: k,
+		Seed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := kmeans.Run(emb, kmeans.Options{K: k, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return res.Labels, nil
+}

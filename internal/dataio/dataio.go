@@ -1,0 +1,94 @@
+// Package dataio reads and writes the CSV formats used by the command-line
+// tools: one time series per row, optionally with a trailing integer class
+// label.
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// ReadSeries parses rows of floats. If labeled is true, the final column of
+// every row is returned separately as an integer label.
+func ReadSeries(r io.Reader, labeled bool) (series [][]float64, labels []int, err error) {
+	rows, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, row := range rows {
+		if labeled {
+			if len(row) < 2 {
+				return nil, nil, fmt.Errorf("row %d: need at least 2 columns for labeled data", i+1)
+			}
+			l, err := strconv.Atoi(row[len(row)-1])
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d: bad label %q: %w", i+1, row[len(row)-1], err)
+			}
+			labels = append(labels, l)
+			row = row[:len(row)-1]
+		}
+		if len(row) == 0 {
+			return nil, nil, fmt.Errorf("row %d: empty", i+1)
+		}
+		s := make([]float64, len(row))
+		for j, cell := range row {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("row %d col %d: %w", i+1, j+1, err)
+			}
+			s[j] = v
+		}
+		series = append(series, s)
+	}
+	if len(series) == 0 {
+		return nil, nil, fmt.Errorf("no rows")
+	}
+	return series, labels, nil
+}
+
+// ReadSeriesFile is ReadSeries over a file path.
+func ReadSeriesFile(path string, labeled bool) ([][]float64, []int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadSeries(f, labeled)
+}
+
+// WriteSeries writes rows of floats, appending each label as a final column
+// when labels is non-nil (it must then match series in length).
+func WriteSeries(w io.Writer, series [][]float64, labels []int) error {
+	if labels != nil && len(labels) != len(series) {
+		return fmt.Errorf("%d labels for %d series", len(labels), len(series))
+	}
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	for i, s := range series {
+		row := make([]string, 0, len(s)+1)
+		for _, v := range s {
+			row = append(row, strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		if labels != nil {
+			row = append(row, strconv.Itoa(labels[i]))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesFile is WriteSeries to a file path.
+func WriteSeriesFile(path string, series [][]float64, labels []int) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteSeries(f, series, labels)
+}

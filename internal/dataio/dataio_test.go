@@ -1,0 +1,88 @@
+package dataio
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRoundTripUnlabeled(t *testing.T) {
+	series := [][]float64{{1, 2.5, -3}, {4, 5, 6}}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, series, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, labels, err := ReadSeries(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != nil {
+		t.Fatal("unexpected labels")
+	}
+	if len(got) != 2 || got[0][1] != 2.5 || got[1][2] != 6 {
+		t.Fatalf("round trip failed: %v", got)
+	}
+}
+
+func TestRoundTripLabeled(t *testing.T) {
+	series := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	labels := []int{0, 1, 0}
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, series, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, gotLabels, err := ReadSeries(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range labels {
+		if gotLabels[i] != labels[i] {
+			t.Fatalf("labels %v want %v", gotLabels, labels)
+		}
+		if len(got[i]) != 2 {
+			t.Fatalf("series %d has %d cols", i, len(got[i]))
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, _, err := ReadSeries(strings.NewReader(""), false); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, _, err := ReadSeries(strings.NewReader("1,notanumber\n"), false); err == nil {
+		t.Fatal("bad float accepted")
+	}
+	if _, _, err := ReadSeries(strings.NewReader("1,2,xyz\n"), true); err == nil {
+		t.Fatal("bad label accepted")
+	}
+	if _, _, err := ReadSeries(strings.NewReader("7\n"), true); err == nil {
+		t.Fatal("labeled row with one column accepted")
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSeries(&buf, [][]float64{{1}}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	series := [][]float64{{1.5, 2}, {3, 4.25}}
+	labels := []int{7, 9}
+	if err := WriteSeriesFile(path, series, labels); err != nil {
+		t.Fatal(err)
+	}
+	got, gotLabels, err := ReadSeriesFile(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1][1] != 4.25 || gotLabels[0] != 7 {
+		t.Fatalf("file round trip failed: %v %v", got, gotLabels)
+	}
+	if _, _, err := ReadSeriesFile(filepath.Join(t.TempDir(), "missing.csv"), false); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,303 @@
+// Package dbht implements the parallel Directed Bubble Hierarchy Tree
+// algorithm (Algorithm 4 of Yu & Shun, ICDE 2023). Given a maximal planar
+// filtered graph (TMFG or PMFG), its bubble tree, and a dissimilarity
+// matrix, it produces a hierarchical clustering dendrogram:
+//
+//  1. Direct the bubble tree edges (Algorithm 3, package bubbletree).
+//  2. Assign every vertex to a converging bubble (its "group"): vertices in
+//     a converging bubble maximize the attachment χ; others minimize the
+//     mean shortest-path distance to the vertices already assigned.
+//  3. Assign every vertex to a bubble (its "bubble assignment") maximizing
+//     the normalized attachment χ′.
+//  4. Build a three-level complete-linkage hierarchy (intra-bubble →
+//     inter-bubble → inter-group) with shortest-path distances, and assign
+//     the height scheme of the reference implementation.
+package dbht
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"pfg/internal/bubbletree"
+	"pfg/internal/dendro"
+	"pfg/internal/graph"
+	"pfg/internal/matrix"
+	"pfg/internal/parallel"
+)
+
+// Timings records the per-stage wall-clock breakdown (Figure 5's stages:
+// "apsp", "bubble-tree" = direction+assignment, "hierarchy").
+type Timings struct {
+	APSP      time.Duration
+	Direction time.Duration
+	Assign    time.Duration
+	Hierarchy time.Duration
+}
+
+// Result is the DBHT output.
+type Result struct {
+	// Dendrogram over the n graph vertices.
+	Dendrogram *dendro.Dendrogram
+	// Directed is the directed bubble tree.
+	Directed *bubbletree.Directed
+	// Group[v] is the converging-bubble node id vertex v is assigned to.
+	Group []int32
+	// Bubble[v] is the bubble node id vertex v is assigned to.
+	Bubble []int32
+	// Groups lists the distinct group ids, ascending.
+	Groups []int32
+	// Timings is the stage breakdown.
+	Timings Timings
+}
+
+// Options tunes DBHT variants.
+type Options struct {
+	// PaperAssignment follows the paper's textual description of Song et
+	// al.: vertices belonging to a converging bubble keep that bubble as
+	// their bubble assignment. The default (false) follows the reference
+	// implementation, which re-assigns every vertex by the χ′ attachment —
+	// the behavior footnote 2 of Yu & Shun adopts.
+	PaperAssignment bool
+}
+
+// Build runs DBHT with default options. g is the filtered graph weighted by
+// similarity, tree its bubble tree, and dis the full dissimilarity matrix
+// used for shortest paths. dis must have the same vertex count as g.
+func Build(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym) (*Result, error) {
+	return BuildWithOptions(g, tree, dis, Options{})
+}
+
+// BuildWithOptions runs DBHT with explicit variant options.
+func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, opts Options) (*Result, error) {
+	n := g.N
+	if dis.N != n {
+		return nil, fmt.Errorf("dbht: dissimilarity matrix is %d×%d, graph has %d vertices", dis.N, dis.N, n)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("dbht: need at least 4 vertices, have %d", n)
+	}
+	res := &Result{}
+
+	// Direction (Algorithm 3).
+	t0 := time.Now()
+	dir := bubbletree.DirectEdges(tree, g)
+	res.Directed = dir
+	res.Timings.Direction = time.Since(t0)
+
+	// All-pairs shortest paths on the filtered graph with dissimilarity
+	// edge weights.
+	t0 = time.Now()
+	dg, err := dissimilarityGraph(g, dis)
+	if err != nil {
+		return nil, err
+	}
+	apsp := dg.AllPairsShortestPaths()
+	res.Timings.APSP = time.Since(t0)
+
+	// Vertex assignments.
+	t0 = time.Now()
+	group, bubble, groups, err := assign(g, tree, dir, apsp, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Group, res.Bubble, res.Groups = group, bubble, groups
+	res.Timings.Assign = time.Since(t0)
+
+	// Hierarchy.
+	t0 = time.Now()
+	dnd, err := buildHierarchy(n, group, bubble, groups, apsp)
+	if err != nil {
+		return nil, err
+	}
+	res.Dendrogram = dnd
+	res.Timings.Hierarchy = time.Since(t0)
+	return res, nil
+}
+
+// dissimilarityGraph rebuilds g's topology with dissimilarity edge weights.
+func dissimilarityGraph(g *graph.Graph, dis *matrix.Sym) (*graph.Graph, error) {
+	edges := g.Edges()
+	for i := range edges {
+		edges[i].W = dis.At(int(edges[i].U), int(edges[i].V))
+	}
+	return graph.FromEdges(g.N, edges)
+}
+
+// assign computes the group (converging bubble) and bubble assignment of
+// every vertex (Lines 2–23 of Algorithm 4).
+func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, apsp *graph.APSP, opts Options) (group, bubble []int32, groups []int32, err error) {
+	n := g.N
+	nb := tree.NumNodes()
+	vertexBubbles := tree.VertexBubbles(n)
+	isConv := make([]bool, nb)
+	for _, c := range dir.Converging {
+		isConv[c] = true
+	}
+
+	// χ(v, b) = Σ_{u∈b} w(u,v) / (3(|b|−2)); for TMFG bubbles the
+	// denominator is the constant 6 and never changes the argmax, but we
+	// keep it for generic (PMFG) bubbles of varying size.
+	chi := func(v int32, b int32) float64 {
+		node := &tree.Nodes[b]
+		s := 0.0
+		for _, u := range node.Vertices {
+			if u == v {
+				continue
+			}
+			if w, ok := g.EdgeWeight(u, v); ok {
+				s += w
+			}
+		}
+		return s / float64(3*(len(node.Vertices)-2))
+	}
+
+	// First pass: vertices contained in at least one converging bubble.
+	group = make([]int32, n)
+	for v := range group {
+		group[v] = -1
+	}
+	parallel.ForGrain(n, 64, func(vi int) {
+		v := int32(vi)
+		best := int32(-1)
+		bestChi := math.Inf(-1)
+		for _, b := range vertexBubbles[v] {
+			if !isConv[b] {
+				continue
+			}
+			if c := chi(v, b); c > bestChi || (c == bestChi && b < best) {
+				bestChi, best = c, b
+			}
+		}
+		group[v] = best
+	})
+
+	// V⁰_b: vertices assigned per converging bubble so far.
+	v0 := make(map[int32][]int32)
+	for v := int32(0); int(v) < n; v++ {
+		if b := group[v]; b >= 0 {
+			v0[b] = append(v0[b], v)
+		}
+	}
+
+	// Reachability from each bubble to converging bubbles (Lines 5–6).
+	reach := dir.ReachableConverging()
+
+	// Second pass: unassigned vertices minimize the mean shortest-path
+	// distance L̄(v,b) over reachable converging bubbles with non-empty V⁰.
+	failed := make([]bool, n)
+	parallel.ForGrain(n, 16, func(vi int) {
+		v := int32(vi)
+		if group[v] >= 0 {
+			return
+		}
+		// Candidate converging bubbles reachable from any bubble of v.
+		cand := map[int32]bool{}
+		for _, b := range vertexBubbles[v] {
+			for _, c := range reach[b] {
+				cand[c] = true
+			}
+		}
+		best := int32(-1)
+		bestL := math.Inf(1)
+		consider := func(c int32) {
+			members := v0[c]
+			if len(members) == 0 {
+				return
+			}
+			s := 0.0
+			for _, u := range members {
+				s += apsp.At(u, v)
+			}
+			l := s / float64(len(members))
+			if l < bestL || (l == bestL && c < best) {
+				bestL, best = l, c
+			}
+		}
+		for c := range cand {
+			consider(c)
+		}
+		if best < 0 {
+			// All reachable converging bubbles were empty; fall back to
+			// every converging bubble (at least one is non-empty).
+			for _, c := range dir.Converging {
+				consider(c)
+			}
+		}
+		if best < 0 {
+			failed[v] = true
+			return
+		}
+		group[v] = best
+	})
+	for v, f := range failed {
+		if f {
+			return nil, nil, nil, fmt.Errorf("dbht: vertex %d could not be assigned to a group", v)
+		}
+	}
+
+	// Bubble assignment: χ′(v,b) = Σ_{u∈b} w(u,v) / Σ_{u',v'∈b} w(u',v').
+	// Following the reference implementation (and the paper's footnote),
+	// every vertex is (re)assigned, including converging-bubble members.
+	bubbleWeight := make([]float64, nb)
+	parallel.ForGrain(nb, 32, func(bi int) {
+		node := &tree.Nodes[bi]
+		s := 0.0
+		for i, u := range node.Vertices {
+			for _, w := range node.Vertices[i+1:] {
+				if x, ok := g.EdgeWeight(u, w); ok {
+					s += x
+				}
+			}
+		}
+		bubbleWeight[bi] = s
+	})
+	bubble = make([]int32, n)
+	parallel.ForGrain(n, 64, func(vi int) {
+		v := int32(vi)
+		if opts.PaperAssignment {
+			// Footnote-2 textual variant: converging-bubble members stay in
+			// their group's bubble.
+			for _, b := range vertexBubbles[v] {
+				if b == group[v] {
+					bubble[v] = b
+					return
+				}
+			}
+		}
+		best := int32(-1)
+		bestChi := math.Inf(-1)
+		for _, b := range vertexBubbles[v] {
+			node := &tree.Nodes[b]
+			s := 0.0
+			for _, u := range node.Vertices {
+				if u == v {
+					continue
+				}
+				if w, ok := g.EdgeWeight(u, v); ok {
+					s += w
+				}
+			}
+			c := s
+			if bubbleWeight[b] > 0 {
+				c = s / bubbleWeight[b]
+			}
+			if c > bestChi || (c == bestChi && b < best) {
+				bestChi, best = c, b
+			}
+		}
+		bubble[v] = best
+	})
+
+	// Distinct groups, ascending.
+	seen := map[int32]bool{}
+	for _, b := range group {
+		seen[b] = true
+	}
+	for b := range seen {
+		groups = append(groups, b)
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
+	return group, bubble, groups, nil
+}

@@ -1,0 +1,266 @@
+package dbht
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pfg/internal/dendro"
+	"pfg/internal/graph"
+	"pfg/internal/hac"
+	"pfg/internal/parallel"
+)
+
+// mergeKind labels where a dendrogram merge was created (Lines 28, 30, 31
+// of Algorithm 4), which determines its height assignment.
+type mergeKind uint8
+
+const (
+	intraBubble mergeKind = iota // Line 28: within a subgroup
+	interBubble                  // Line 30: across bubbles within a group
+	interGroup                   // Line 31: across groups
+)
+
+// mergeMeta carries the bookkeeping used for height assignment.
+type mergeMeta struct {
+	kind   mergeKind
+	group  int32   // owning group (converging bubble id); -1 for interGroup
+	bubble int32   // owning bubble for intraBubble merges; -1 otherwise
+	dist   float64 // linkage distance at merge time
+}
+
+// localResult is the dendrogram fragment produced by one clustering call.
+type localResult struct {
+	dnd   *dendro.Dendrogram
+	items []int32 // global node id per local leaf
+}
+
+// buildHierarchy implements Lines 24–33 of Algorithm 4 plus the height
+// scheme of the Aste reference implementation.
+func buildHierarchy(n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
+	// Partition vertices into subgroups keyed by (group, bubble).
+	type sgKey struct{ g, b int32 }
+	subgroups := map[sgKey][]int32{}
+	groupVerts := map[int32][]int32{}
+	for v := int32(0); int(v) < n; v++ {
+		k := sgKey{group[v], bubble[v]}
+		subgroups[k] = append(subgroups[k], v)
+		groupVerts[group[v]] = append(groupVerts[group[v]], v)
+	}
+	// Deterministic subgroup ordering: by group, then bubble.
+	type sgEntry struct {
+		key   sgKey
+		verts []int32
+	}
+	perGroup := map[int32][]sgEntry{}
+	for k, vs := range subgroups {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		perGroup[k.g] = append(perGroup[k.g], sgEntry{key: k, verts: vs})
+	}
+	for _, es := range perGroup {
+		sort.Slice(es, func(i, j int) bool { return es[i].key.b < es[j].key.b })
+	}
+
+	gb := &globalBuilder{n: n}
+	vdist := func(a, b int32) float64 { return apsp.At(a, b) }
+	setDist := func(a, b []int32) float64 {
+		best := math.Inf(-1)
+		for _, u := range a {
+			for _, v := range b {
+				if d := apsp.At(u, v); d > best {
+					best = d
+				}
+			}
+		}
+		return best
+	}
+
+	// Line 25–28: complete linkage within every subgroup, in parallel.
+	type sgJob struct {
+		g, b  int32
+		verts []int32
+		res   localResult
+	}
+	var jobs []*sgJob
+	for _, gid := range groups {
+		for _, e := range perGroup[gid] {
+			jobs = append(jobs, &sgJob{g: gid, b: e.key.b, verts: e.verts})
+		}
+	}
+	jobErrs := make([]error, len(jobs))
+	parallel.ForGrain(len(jobs), 1, func(i int) {
+		j := jobs[i]
+		d, err := hac.Run(len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
+		if err != nil {
+			jobErrs[i] = err
+			return
+		}
+		j.res = localResult{dnd: d, items: j.verts}
+	})
+	for _, err := range jobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Stitch subgroup dendrograms deterministically.
+	subgroupRoot := map[sgKey]int32{}
+	for _, j := range jobs {
+		root := gb.appendLocal(j.res, mergeMeta{kind: intraBubble, group: j.g, bubble: j.b})
+		subgroupRoot[sgKey{j.g, j.b}] = root
+	}
+
+	// Line 29–30: complete linkage across subgroups within each group.
+	type grpJob struct {
+		g     int32
+		sets  [][]int32
+		roots []int32
+		res   localResult
+	}
+	var gjobs []*grpJob
+	for _, gid := range groups {
+		j := &grpJob{g: gid}
+		for _, e := range perGroup[gid] {
+			j.sets = append(j.sets, e.verts)
+			j.roots = append(j.roots, subgroupRoot[e.key])
+		}
+		gjobs = append(gjobs, j)
+	}
+	gjobErrs := make([]error, len(gjobs))
+	parallel.ForGrain(len(gjobs), 1, func(i int) {
+		j := gjobs[i]
+		d, err := hac.Run(len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
+		if err != nil {
+			gjobErrs[i] = err
+			return
+		}
+		j.res = localResult{dnd: d, items: j.roots}
+	})
+	for _, err := range gjobErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	groupRoot := map[int32]int32{}
+	groupSize := map[int32]int{}
+	for _, j := range gjobs {
+		root := gb.appendLocal(j.res, mergeMeta{kind: interBubble, group: j.g, bubble: -1})
+		groupRoot[j.g] = root
+		groupSize[j.g] = len(groupVerts[j.g])
+	}
+
+	// Line 31: complete linkage across groups.
+	var topSets [][]int32
+	var topRoots []int32
+	for _, gid := range groups {
+		vs := groupVerts[gid]
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+		topSets = append(topSets, vs)
+		topRoots = append(topRoots, groupRoot[gid])
+	}
+	dTop, err := hac.Run(len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
+	if err != nil {
+		return nil, err
+	}
+	gb.appendLocal(localResult{dnd: dTop, items: topRoots}, mergeMeta{kind: interGroup, group: -1, bubble: -1})
+
+	if err := gb.assignHeights(groups, groupSize); err != nil {
+		return nil, err
+	}
+	dnd := &dendro.Dendrogram{N: n, Merges: gb.merges}
+	if err := dnd.Validate(1e-9); err != nil {
+		return nil, fmt.Errorf("dbht: invalid dendrogram: %w", err)
+	}
+	return dnd, nil
+}
+
+// globalBuilder accumulates the final dendrogram's merges.
+type globalBuilder struct {
+	n      int
+	merges []dendro.Merge
+	meta   []mergeMeta
+}
+
+// appendLocal translates a local dendrogram fragment (leaves = items, which
+// are global node ids) into global merges and returns the global id of the
+// fragment's root. For single-item fragments no merge is created.
+func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
+	if len(lr.items) == 1 {
+		return lr.items[0]
+	}
+	localN := lr.dnd.N
+	localToGlobal := make([]int32, localN+len(lr.dnd.Merges))
+	copy(localToGlobal, lr.items)
+	for i, m := range lr.dnd.Merges {
+		self := int32(gb.n + len(gb.merges))
+		a := localToGlobal[m.A]
+		b := localToGlobal[m.B]
+		gb.merges = append(gb.merges, dendro.Merge{A: a, B: b, Height: m.Height})
+		md := meta
+		md.dist = m.Height
+		gb.meta = append(gb.meta, md)
+		localToGlobal[localN+i] = self
+	}
+	return localToGlobal[localN+len(lr.dnd.Merges)-1]
+}
+
+// assignHeights replaces raw linkage distances with the reference height
+// scheme: inter-group nodes get the number of converging-bubble groups in
+// their descendants; within each group, the nb−1 nodes get ascending heights
+// [1/(nb−1), …, 1/2, 1], ordered intra-bubble first (by bubble id, then
+// merge distance) and inter-bubble after (by merge distance).
+func (gb *globalBuilder) assignHeights(groups []int32, groupSize map[int32]int) error {
+	// Per group: collect merge indices.
+	perGroup := map[int32][]int{}
+	for i, md := range gb.meta {
+		if md.kind != interGroup {
+			perGroup[md.group] = append(perGroup[md.group], i)
+		}
+	}
+	for _, gid := range groups {
+		idx := perGroup[gid]
+		nb := groupSize[gid]
+		if len(idx) != nb-1 {
+			return fmt.Errorf("dbht: group %d has %d merges for %d vertices", gid, len(idx), nb)
+		}
+		if nb == 1 {
+			continue
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ma, mb := gb.meta[idx[a]], gb.meta[idx[b]]
+			// Intra-bubble nodes first.
+			if (ma.kind == intraBubble) != (mb.kind == intraBubble) {
+				return ma.kind == intraBubble
+			}
+			if ma.kind == intraBubble {
+				if ma.bubble != mb.bubble {
+					return ma.bubble < mb.bubble
+				}
+			}
+			return ma.dist < mb.dist
+		})
+		for rank, mi := range idx {
+			// Heights 1/(nb-1), 1/(nb-2), ..., 1/2, 1.
+			gb.merges[mi].Height = 1 / float64(nb-1-rank)
+		}
+	}
+	// Inter-group heights: number of groups in the node's descendants.
+	groupCount := make(map[int32]int, len(gb.merges))
+	for i, md := range gb.meta {
+		if md.kind != interGroup {
+			continue
+		}
+		self := int32(gb.n + i)
+		m := &gb.merges[i]
+		count := 0
+		for _, c := range []int32{m.A, m.B} {
+			if cc, ok := groupCount[c]; ok {
+				count += cc
+			} else {
+				count++ // a group root (or a leaf/vertex-level node of a whole group)
+			}
+		}
+		groupCount[self] = count
+		m.Height = float64(count)
+	}
+	return nil
+}

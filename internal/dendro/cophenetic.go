@@ -1,0 +1,70 @@
+package dendro
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cophenetic returns the n×n row-major matrix of cophenetic distances: the
+// height of the merge at which each pair of leaves first joins. It is the
+// standard summary used to compare a dendrogram against the original
+// dissimilarities. O(n²) time and space.
+func (d *Dendrogram) Cophenetic() []float64 {
+	n := d.N
+	out := make([]float64, n*n)
+	// members[node] lists the leaves currently under the cluster whose
+	// representative node id is `node`.
+	members := make(map[int32][]int32, n)
+	for i := int32(0); int(i) < n; i++ {
+		members[i] = []int32{i}
+	}
+	for i, m := range d.Merges {
+		a := members[m.A]
+		b := members[m.B]
+		for _, x := range a {
+			for _, y := range b {
+				out[int(x)*n+int(y)] = m.Height
+				out[int(y)*n+int(x)] = m.Height
+			}
+		}
+		self := int32(n + i)
+		members[self] = append(a, b...)
+		delete(members, m.A)
+		delete(members, m.B)
+	}
+	return out
+}
+
+// CopheneticCorrelation computes the Pearson correlation between the
+// dendrogram's cophenetic distances and the original dissimilarities (given
+// as a row-major n×n matrix) over all unordered leaf pairs. Values near 1
+// indicate the hierarchy preserves the metric structure faithfully.
+func (d *Dendrogram) CopheneticCorrelation(dis []float64) (float64, error) {
+	n := d.N
+	if len(dis) != n*n {
+		return 0, fmt.Errorf("dendro: dissimilarity matrix has %d entries, want %d", len(dis), n*n)
+	}
+	if n < 3 {
+		return 0, fmt.Errorf("dendro: need at least 3 leaves for a correlation")
+	}
+	coph := d.Cophenetic()
+	var sx, sy, sxx, syy, sxy float64
+	cnt := 0.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			x, y := coph[i*n+j], dis[i*n+j]
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			cnt++
+		}
+	}
+	num := sxy - sx*sy/cnt
+	den := math.Sqrt((sxx - sx*sx/cnt) * (syy - sy*sy/cnt))
+	if den == 0 {
+		return 0, fmt.Errorf("dendro: degenerate distances (zero variance)")
+	}
+	return num / den, nil
+}

@@ -1,0 +1,87 @@
+package dendro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCopheneticChain(t *testing.T) {
+	d := chain4()
+	c := d.Cophenetic()
+	// Leaves 0,1 join at height 1; 2 joins them at 2; 3 at 3.
+	cases := map[[2]int]float64{
+		{0, 1}: 1, {0, 2}: 2, {1, 2}: 2,
+		{0, 3}: 3, {1, 3}: 3, {2, 3}: 3,
+	}
+	for k, want := range cases {
+		if got := c[k[0]*4+k[1]]; got != want {
+			t.Fatalf("coph(%d,%d)=%v want %v", k[0], k[1], got, want)
+		}
+		if c[k[1]*4+k[0]] != want {
+			t.Fatal("cophenetic matrix not symmetric")
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if c[i*4+i] != 0 {
+			t.Fatal("diagonal must be 0")
+		}
+	}
+}
+
+func TestCopheneticUltrametric(t *testing.T) {
+	// Cophenetic distances are ultrametric: d(x,z) ≤ max(d(x,y), d(y,z)).
+	d := &Dendrogram{N: 6, Merges: []Merge{
+		{A: 0, B: 1, Height: 0.5},
+		{A: 2, B: 3, Height: 0.7},
+		{A: 6, B: 7, Height: 1.5},
+		{A: 4, B: 5, Height: 2.0},
+		{A: 8, B: 9, Height: 3.0},
+	}}
+	if err := d.Validate(0); err != nil {
+		t.Fatal(err)
+	}
+	c := d.Cophenetic()
+	n := 6
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				if c[x*n+z] > math.Max(c[x*n+y], c[y*n+z])+1e-12 {
+					t.Fatalf("ultrametric violated at (%d,%d,%d)", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestCopheneticCorrelationPerfect(t *testing.T) {
+	// If the original distances are themselves ultrametric and match the
+	// dendrogram, the correlation is 1.
+	d := chain4()
+	dis := d.Cophenetic()
+	r, err := d.CopheneticCorrelation(dis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("correlation %v want 1", r)
+	}
+}
+
+func TestCopheneticCorrelationErrors(t *testing.T) {
+	d := chain4()
+	if _, err := d.CopheneticCorrelation(make([]float64, 3)); err == nil {
+		t.Fatal("bad matrix size accepted")
+	}
+	two := &Dendrogram{N: 2, Merges: []Merge{{A: 0, B: 1, Height: 1}}}
+	if _, err := two.CopheneticCorrelation(make([]float64, 4)); err == nil {
+		t.Fatal("n=2 accepted")
+	}
+	// Zero-variance case.
+	flat := &Dendrogram{N: 3, Merges: []Merge{
+		{A: 0, B: 1, Height: 1},
+		{A: 3, B: 2, Height: 1},
+	}}
+	if _, err := flat.CopheneticCorrelation(make([]float64, 9)); err == nil {
+		t.Fatal("degenerate distances accepted")
+	}
+}

@@ -1,0 +1,56 @@
+package dendro
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Newick serializes the dendrogram in Newick tree format, the standard
+// interchange format for hierarchical clusterings (readable by R, ete3,
+// scipy, FigTree, ...). Leaf names come from names, or "L<i>" when names is
+// nil. Branch lengths are parent height minus child height, so path lengths
+// reproduce the merge heights.
+func (d *Dendrogram) Newick(names []string) (string, error) {
+	if names != nil && len(names) != d.N {
+		return "", fmt.Errorf("dendro: %d names for %d leaves", len(names), d.N)
+	}
+	name := func(i int32) string {
+		if names != nil {
+			return escapeNewick(names[i])
+		}
+		return "L" + strconv.Itoa(int(i))
+	}
+	height := func(node int32) float64 {
+		if node < int32(d.N) {
+			return 0
+		}
+		return d.Merges[node-int32(d.N)].Height
+	}
+	var build func(node int32, parentHeight float64) string
+	build = func(node int32, parentHeight float64) string {
+		length := parentHeight - height(node)
+		if length < 0 {
+			length = 0
+		}
+		if node < int32(d.N) {
+			return fmt.Sprintf("%s:%g", name(node), length)
+		}
+		m := d.Merges[node-int32(d.N)]
+		return fmt.Sprintf("(%s,%s):%g", build(m.A, m.Height), build(m.B, m.Height), length)
+	}
+	if d.N == 1 {
+		return name(0) + ";", nil
+	}
+	root := d.Root()
+	m := d.Merges[root-int32(d.N)]
+	return fmt.Sprintf("(%s,%s);", build(m.A, m.Height), build(m.B, m.Height)), nil
+}
+
+// escapeNewick quotes names containing Newick metacharacters.
+func escapeNewick(s string) string {
+	if strings.ContainsAny(s, "(),:;'\" \t\n[]") {
+		return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+	}
+	return s
+}

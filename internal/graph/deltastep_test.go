@@ -1,0 +1,79 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaSteppingMatchesDijkstra(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		edges := randomConnectedGraph(rng, n, 2*n)
+		g, err := FromEdges(n, edges)
+		if err != nil {
+			return false
+		}
+		for _, delta := range []float64{0.05, g.MeanEdgeWeight(), 10} {
+			for src := 0; src < n; src += 3 {
+				want := g.Dijkstra(int32(src), nil)
+				got := g.DeltaStepping(int32(src), delta)
+				for v := 0; v < n; v++ {
+					if math.Abs(got[v]-want[v]) > 1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltaSteppingDisconnected(t *testing.T) {
+	g := mustGraph(t, 4, []Edge{{0, 1, 1}, {2, 3, 1}})
+	d := g.DeltaStepping(0, 1)
+	if d[1] != 1 || !math.IsInf(d[2], 1) || !math.IsInf(d[3], 1) {
+		t.Fatalf("got %v", d)
+	}
+}
+
+func TestDeltaSteppingHeavyOnlyGraph(t *testing.T) {
+	// All edges heavier than Δ exercises the heavy-relaxation path.
+	g := mustGraph(t, 4, []Edge{{0, 1, 5}, {1, 2, 5}, {2, 3, 5}})
+	d := g.DeltaStepping(0, 1)
+	want := []float64{0, 5, 10, 15}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("got %v want %v", d, want)
+		}
+	}
+}
+
+func TestAPSPDeltaMatchesAPSP(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 80
+	g := mustGraph(t, n, randomConnectedGraph(rng, n, 4*n))
+	a := g.AllPairsShortestPaths()
+	b := g.AllPairsShortestPathsDelta(0) // default Δ
+	for i := range a.Dist {
+		if math.Abs(a.Dist[i]-b.Dist[i]) > 1e-9 {
+			t.Fatalf("APSP mismatch at %d: %v vs %v", i, a.Dist[i], b.Dist[i])
+		}
+	}
+}
+
+func TestMeanEdgeWeight(t *testing.T) {
+	g := mustGraph(t, 3, []Edge{{0, 1, 2}, {1, 2, 4}})
+	if got := g.MeanEdgeWeight(); got != 3 {
+		t.Fatalf("mean %v want 3", got)
+	}
+	empty := mustGraph(t, 2, nil)
+	if got := empty.MeanEdgeWeight(); got != 1 {
+		t.Fatalf("empty-graph default %v want 1", got)
+	}
+}

@@ -1,0 +1,257 @@
+// Package graph provides the weighted undirected graph representation and
+// shortest-path machinery used by filtered-graph clustering: BFS, Dijkstra
+// single-source shortest paths, parallel all-pairs shortest paths, triangle
+// enumeration, and connectivity queries.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected weighted graph in compressed adjacency form. Each
+// undirected edge {u, v} appears in both adjacency lists.
+type Graph struct {
+	N int
+	// CSR layout: neighbors of v are Adj[Off[v]:Off[v+1]].
+	Off    []int32
+	Adj    []int32
+	Weight []float64
+}
+
+// Edge is an undirected weighted edge.
+type Edge struct {
+	U, V int32
+	W    float64
+}
+
+// FromEdges builds a Graph on n vertices from an undirected edge list.
+// Duplicate and self edges are rejected.
+func FromEdges(n int, edges []Edge) (*Graph, error) {
+	deg := make([]int32, n)
+	for _, e := range edges {
+		if e.U == e.V {
+			return nil, fmt.Errorf("graph: self loop at %d", e.U)
+		}
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		deg[e.U]++
+		deg[e.V]++
+	}
+	g := &Graph{
+		N:      n,
+		Off:    make([]int32, n+1),
+		Adj:    make([]int32, 2*len(edges)),
+		Weight: make([]float64, 2*len(edges)),
+	}
+	for v := 0; v < n; v++ {
+		g.Off[v+1] = g.Off[v] + deg[v]
+	}
+	pos := make([]int32, n)
+	copy(pos, g.Off[:n])
+	for _, e := range edges {
+		g.Adj[pos[e.U]] = e.V
+		g.Weight[pos[e.U]] = e.W
+		pos[e.U]++
+		g.Adj[pos[e.V]] = e.U
+		g.Weight[pos[e.V]] = e.W
+		pos[e.V]++
+	}
+	// Sort each adjacency list for deterministic iteration and O(log d)
+	// membership tests.
+	for v := 0; v < n; v++ {
+		lo, hi := g.Off[v], g.Off[v+1]
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = int(lo) + i
+		}
+		sort.Slice(idx, func(a, b int) bool { return g.Adj[idx[a]] < g.Adj[idx[b]] })
+		adj := make([]int32, hi-lo)
+		wts := make([]float64, hi-lo)
+		for i, k := range idx {
+			adj[i] = g.Adj[k]
+			wts[i] = g.Weight[k]
+		}
+		copy(g.Adj[lo:hi], adj)
+		copy(g.Weight[lo:hi], wts)
+		for i := 1; i < len(adj); i++ {
+			if adj[i] == adj[i-1] {
+				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[i])
+			}
+		}
+	}
+	return g, nil
+}
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return len(g.Adj) / 2 }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int32) int { return int(g.Off[v+1] - g.Off[v]) }
+
+// Neighbors returns v's adjacency and weight slices (views; do not modify).
+func (g *Graph) Neighbors(v int32) ([]int32, []float64) {
+	lo, hi := g.Off[v], g.Off[v+1]
+	return g.Adj[lo:hi], g.Weight[lo:hi]
+}
+
+// HasEdge reports whether {u, v} is an edge, using binary search.
+func (g *Graph) HasEdge(u, v int32) bool {
+	adj, _ := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	return i < len(adj) && adj[i] == v
+}
+
+// EdgeWeight returns the weight of edge {u, v} and whether it exists.
+func (g *Graph) EdgeWeight(u, v int32) (float64, bool) {
+	adj, wts := g.Neighbors(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
+	if i < len(adj) && adj[i] == v {
+		return wts[i], true
+	}
+	return 0, false
+}
+
+// WeightedDegree returns the sum of edge weights incident to v.
+func (g *Graph) WeightedDegree(v int32) float64 {
+	_, wts := g.Neighbors(v)
+	s := 0.0
+	for _, w := range wts {
+		s += w
+	}
+	return s
+}
+
+// TotalWeight returns the sum of all edge weights (each edge once).
+func (g *Graph) TotalWeight() float64 {
+	s := 0.0
+	for _, w := range g.Weight {
+		s += w
+	}
+	return s / 2
+}
+
+// Edges returns the undirected edge list with U < V, sorted.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for u := int32(0); int(u) < g.N; u++ {
+		adj, wts := g.Neighbors(u)
+		for i, v := range adj {
+			if u < v {
+				out = append(out, Edge{U: u, V: v, W: wts[i]})
+			}
+		}
+	}
+	return out
+}
+
+// Connected reports whether the graph is connected (vacuously true for
+// n ≤ 1). excluded vertices (if any) are treated as removed.
+func (g *Graph) Connected(excluded ...int32) bool {
+	skip := make(map[int32]bool, len(excluded))
+	for _, v := range excluded {
+		skip[v] = true
+	}
+	start := int32(-1)
+	remaining := 0
+	for v := int32(0); int(v) < g.N; v++ {
+		if !skip[v] {
+			remaining++
+			if start < 0 {
+				start = v
+			}
+		}
+	}
+	if remaining <= 1 {
+		return true
+	}
+	visited := make([]bool, g.N)
+	queue := []int32{start}
+	visited[start] = true
+	seen := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if !visited[u] && !skip[u] {
+				visited[u] = true
+				seen++
+				queue = append(queue, u)
+			}
+		}
+	}
+	return seen == remaining
+}
+
+// ComponentsWithout returns the connected components of the graph after
+// removing the given vertices. Removed vertices belong to no component.
+func (g *Graph) ComponentsWithout(removed []int32) [][]int32 {
+	skip := make([]bool, g.N)
+	for _, v := range removed {
+		skip[v] = true
+	}
+	comp := make([]int32, g.N)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var comps [][]int32
+	for s := int32(0); int(s) < g.N; s++ {
+		if skip[s] || comp[s] >= 0 {
+			continue
+		}
+		id := int32(len(comps))
+		var members []int32
+		queue := []int32{s}
+		comp[s] = id
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			members = append(members, v)
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if !skip[u] && comp[u] < 0 {
+					comp[u] = id
+					queue = append(queue, u)
+				}
+			}
+		}
+		comps = append(comps, members)
+	}
+	return comps
+}
+
+// Triangles enumerates every triangle {a < b < c} in the graph. On planar
+// graphs this is O(n^{3/2})-ish in practice via the ordered intersection of
+// adjacency lists.
+func (g *Graph) Triangles() [][3]int32 {
+	var out [][3]int32
+	for u := int32(0); int(u) < g.N; u++ {
+		adjU, _ := g.Neighbors(u)
+		for _, v := range adjU {
+			if v <= u {
+				continue
+			}
+			// Intersect neighbor lists of u and v, keeping w > v.
+			adjV, _ := g.Neighbors(v)
+			i, j := 0, 0
+			for i < len(adjU) && j < len(adjV) {
+				a, b := adjU[i], adjV[j]
+				switch {
+				case a == b:
+					if a > v {
+						out = append(out, [3]int32{u, v, a})
+					}
+					i++
+					j++
+				case a < b:
+					i++
+				default:
+					j++
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"math"
+
+	"pfg/internal/parallel"
+)
+
+// distHeap is a hand-rolled binary min-heap over (dist, vertex) pairs with a
+// position index for decrease-key, avoiding container/heap's interface
+// overhead in the APSP inner loop.
+type distHeap struct {
+	verts []int32   // heap of vertex ids
+	dist  []float64 // dist[v] keyed by vertex id
+	pos   []int32   // pos[v] = index of v in verts, -1 if absent
+}
+
+func newDistHeap(n int) *distHeap {
+	h := &distHeap{
+		verts: make([]int32, 0, n),
+		dist:  make([]float64, n),
+		pos:   make([]int32, n),
+	}
+	for i := range h.pos {
+		h.pos[i] = -1
+		h.dist[i] = math.Inf(1)
+	}
+	return h
+}
+
+func (h *distHeap) less(i, j int) bool { return h.dist[h.verts[i]] < h.dist[h.verts[j]] }
+
+func (h *distHeap) swap(i, j int) {
+	h.verts[i], h.verts[j] = h.verts[j], h.verts[i]
+	h.pos[h.verts[i]] = int32(i)
+	h.pos[h.verts[j]] = int32(j)
+}
+
+func (h *distHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *distHeap) down(i int) {
+	n := len(h.verts)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && h.less(l, small) {
+			small = l
+		}
+		if r < n && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.swap(i, small)
+		i = small
+	}
+}
+
+// decrease inserts v with distance d, or lowers its key if already present
+// with a larger distance.
+func (h *distHeap) decrease(v int32, d float64) {
+	if d >= h.dist[v] {
+		return
+	}
+	h.dist[v] = d
+	if h.pos[v] < 0 {
+		h.pos[v] = int32(len(h.verts))
+		h.verts = append(h.verts, v)
+	}
+	h.up(int(h.pos[v]))
+}
+
+// popMin removes and returns the vertex with the smallest distance.
+func (h *distHeap) popMin() int32 {
+	v := h.verts[0]
+	last := len(h.verts) - 1
+	h.swap(0, last)
+	h.verts = h.verts[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v
+}
+
+// Dijkstra computes single-source shortest path distances from src using the
+// graph's edge weights, which must be non-negative. Unreachable vertices get
+// +Inf. The out slice, if non-nil and of length g.N, is reused.
+func (g *Graph) Dijkstra(src int32, out []float64) []float64 {
+	if out == nil || len(out) != g.N {
+		out = make([]float64, g.N)
+	}
+	h := newDistHeap(g.N)
+	h.decrease(src, 0)
+	settled := make([]bool, g.N)
+	for len(h.verts) > 0 {
+		v := h.popMin()
+		settled[v] = true
+		dv := h.dist[v]
+		adj, wts := g.Neighbors(v)
+		for i, u := range adj {
+			if !settled[u] {
+				h.decrease(u, dv+wts[i])
+			}
+		}
+	}
+	copy(out, h.dist)
+	return out
+}
+
+// BFSDistances computes hop-count distances from src (-1 for unreachable).
+func (g *Graph) BFSDistances(src int32) []int32 {
+	dist := make([]int32, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		adj, _ := g.Neighbors(v)
+		for _, u := range adj {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// APSP computes all-pairs shortest path distances by running Dijkstra from
+// every vertex in parallel (the strategy the paper uses for DBHT on TMFGs,
+// which have Θ(n) edges). The result is an n×n row-major matrix.
+type APSP struct {
+	N    int
+	Dist []float64
+}
+
+// At returns the shortest-path distance from u to v.
+func (a *APSP) At(u, v int32) float64 { return a.Dist[int(u)*a.N+int(v)] }
+
+// AllPairsShortestPaths runs parallel Dijkstra from every source.
+func (g *Graph) AllPairsShortestPaths() *APSP {
+	a := &APSP{N: g.N, Dist: make([]float64, g.N*g.N)}
+	parallel.ForGrain(g.N, 1, func(src int) {
+		g.Dijkstra(int32(src), a.Dist[src*g.N:(src+1)*g.N])
+	})
+	return a
+}

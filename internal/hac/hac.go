@@ -1,0 +1,229 @@
+// Package hac implements hierarchical agglomerative clustering with the
+// nearest-neighbor chain algorithm, supporting complete, average, and single
+// linkage. It serves both as the COMP/AVG baselines of the paper's
+// evaluation (a stand-in for the ParChain implementations of Yu et al.) and
+// as the complete-linkage subroutine inside DBHT hierarchy construction.
+//
+// The NN-chain algorithm is O(n²) time and O(n²) space on a dissimilarity
+// matrix and is exact for the reducible linkages implemented here. The
+// initial matrix construction and the Lance-Williams row updates are
+// parallelized.
+package hac
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pfg/internal/dendro"
+	"pfg/internal/parallel"
+)
+
+// Linkage selects the cluster-distance update rule.
+type Linkage int
+
+const (
+	// Complete linkage: d(A∪B, C) = max(d(A,C), d(B,C)).
+	Complete Linkage = iota
+	// Average linkage (UPGMA): size-weighted mean.
+	Average
+	// Single linkage: d(A∪B, C) = min(d(A,C), d(B,C)).
+	Single
+	// Weighted linkage (WPGMA): unweighted mean of the two halves.
+	Weighted
+	// Ward linkage: minimum within-cluster variance increase. Heights are
+	// reported in the input distance units (the Lance-Williams update runs
+	// on squared distances internally).
+	Ward
+)
+
+func (l Linkage) String() string {
+	switch l {
+	case Complete:
+		return "complete"
+	case Average:
+		return "average"
+	case Single:
+		return "single"
+	case Weighted:
+		return "weighted"
+	case Ward:
+		return "ward"
+	default:
+		return fmt.Sprintf("Linkage(%d)", int(l))
+	}
+}
+
+// Run clusters n points whose pairwise dissimilarities are given by dist
+// (which must be symmetric; the diagonal is ignored). It returns a full
+// dendrogram whose merge heights are the linkage distances.
+func Run(n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
+	}
+	if n == 1 {
+		return &dendro.Dendrogram{N: 1}, nil
+	}
+	// Working copy of the dissimilarity matrix.
+	d := make([]float64, n*n)
+	parallel.ForGrain(n, 4, func(i int) {
+		for j := 0; j < n; j++ {
+			if i != j {
+				d[i*n+j] = dist(i, j)
+			}
+		}
+	})
+	return runOnMatrix(n, d, linkage)
+}
+
+// RunMatrix clusters using a prebuilt row-major n×n dissimilarity matrix,
+// which is consumed (overwritten) by the algorithm.
+func RunMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
+	}
+	if len(d) != n*n {
+		return nil, fmt.Errorf("hac: matrix length %d, want %d", len(d), n*n)
+	}
+	if n == 1 {
+		return &dendro.Dendrogram{N: 1}, nil
+	}
+	return runOnMatrix(n, d, linkage)
+}
+
+// chainMerge is an NN-chain merge record over matrix slots.
+type chainMerge struct {
+	a, b int32
+	dist float64
+}
+
+func runOnMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	// Ward's Lance-Williams recurrence operates on squared distances.
+	if linkage == Ward {
+		for i := range d {
+			d[i] *= d[i]
+		}
+	}
+	size := make([]int32, n)
+	active := make([]bool, n)
+	for i := range size {
+		size[i] = 1
+		active[i] = true
+	}
+	merges := make([]chainMerge, 0, n-1)
+	chain := make([]int32, 0, n)
+	remaining := n
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, int32(i))
+					break
+				}
+			}
+		}
+		for {
+			x := chain[len(chain)-1]
+			// Nearest active neighbor of x; prefer the previous chain
+			// element on ties so reciprocal pairs terminate.
+			var prev int32 = -1
+			if len(chain) > 1 {
+				prev = chain[len(chain)-2]
+			}
+			best := prev
+			bestD := math.Inf(1)
+			if prev >= 0 {
+				bestD = d[x*int32(n)+prev]
+			}
+			row := d[int(x)*n : int(x)*n+n]
+			for y := 0; y < n; y++ {
+				if !active[y] || int32(y) == x {
+					continue
+				}
+				if row[y] < bestD {
+					bestD = row[y]
+					best = int32(y)
+				}
+			}
+			if best == prev && prev >= 0 {
+				// Reciprocal nearest neighbors: merge x and prev.
+				chain = chain[:len(chain)-2]
+				a, b := prev, x
+				if a > b {
+					a, b = b, a
+				}
+				merges = append(merges, chainMerge{a: a, b: b, dist: bestD})
+				// Merge b into a with the Lance-Williams update.
+				sa, sb := float64(size[a]), float64(size[b])
+				na := int(a) * n
+				nb := int(b) * n
+				parallel.ForBlocked(n, 2048, func(lo, hi int) {
+					for y := lo; y < hi; y++ {
+						if !active[y] || int32(y) == a || int32(y) == b {
+							continue
+						}
+						var nd float64
+						switch linkage {
+						case Complete:
+							nd = math.Max(d[na+y], d[nb+y])
+						case Single:
+							nd = math.Min(d[na+y], d[nb+y])
+						case Weighted:
+							nd = (d[na+y] + d[nb+y]) / 2
+						case Ward:
+							sy := float64(size[y])
+							nd = ((sa+sy)*d[na+y] + (sb+sy)*d[nb+y] - sy*d[na+int(b)]) / (sa + sb + sy)
+						default: // Average
+							nd = (sa*d[na+y] + sb*d[nb+y]) / (sa + sb)
+						}
+						d[na+y] = nd
+						d[y*n+int(a)] = nd
+					}
+				})
+				size[a] += size[b]
+				active[b] = false
+				remaining--
+				break
+			}
+			chain = append(chain, best)
+		}
+	}
+	if linkage == Ward {
+		for i := range merges {
+			merges[i].dist = math.Sqrt(merges[i].dist)
+		}
+	}
+	return label(n, merges)
+}
+
+// label converts NN-chain merges (over matrix slots) into a dendrogram by
+// sorting on merge distance and relabeling with union-find, exactly as
+// scipy's linkage does. Reducibility of the supported linkages guarantees
+// the sorted order is a valid agglomeration order.
+func label(n int, merges []chainMerge) (*dendro.Dendrogram, error) {
+	sort.SliceStable(merges, func(i, j int) bool { return merges[i].dist < merges[j].dist })
+	parent := make([]int32, n+len(merges))
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	dnd := &dendro.Dendrogram{N: n, Merges: make([]dendro.Merge, 0, len(merges))}
+	for i, m := range merges {
+		// Each matrix slot is a leaf id, so find on the slot resolves to the
+		// dendrogram node currently containing that leaf.
+		self := int32(n + i)
+		na := find(m.a)
+		nb := find(m.b)
+		dnd.Merges = append(dnd.Merges, dendro.Merge{A: na, B: nb, Height: m.dist})
+		parent[na] = self
+		parent[nb] = self
+	}
+	return dnd, nil
+}

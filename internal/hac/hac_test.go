@@ -1,0 +1,391 @@
+package hac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pfg/internal/dendro"
+)
+
+var _ = dendro.Merge{} // used by both brute-force references
+
+// bruteForce performs naive agglomeration: repeatedly merge the pair of
+// clusters with the smallest linkage distance, computing set distances from
+// first principles (not Lance-Williams).
+func bruteForce(n int, d []float64, linkage Linkage) *dendro.Dendrogram {
+	type cluster struct {
+		node   int32
+		points []int32
+	}
+	clusters := []cluster{}
+	for i := 0; i < n; i++ {
+		clusters = append(clusters, cluster{node: int32(i), points: []int32{int32(i)}})
+	}
+	setDist := func(a, b cluster) float64 {
+		switch linkage {
+		case Complete:
+			best := math.Inf(-1)
+			for _, p := range a.points {
+				for _, q := range b.points {
+					best = math.Max(best, d[p*int32(n)+q])
+				}
+			}
+			return best
+		case Single:
+			best := math.Inf(1)
+			for _, p := range a.points {
+				for _, q := range b.points {
+					best = math.Min(best, d[p*int32(n)+q])
+				}
+			}
+			return best
+		default: // Average
+			s := 0.0
+			for _, p := range a.points {
+				for _, q := range b.points {
+					s += d[p*int32(n)+q]
+				}
+			}
+			return s / float64(len(a.points)*len(b.points))
+		}
+	}
+	out := &dendro.Dendrogram{N: n}
+	next := int32(n)
+	for len(clusters) > 1 {
+		bi, bj := 0, 1
+		bd := math.Inf(1)
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				if dd := setDist(clusters[i], clusters[j]); dd < bd {
+					bd, bi, bj = dd, i, j
+				}
+			}
+		}
+		out.Merges = append(out.Merges, dendro.Merge{A: clusters[bi].node, B: clusters[bj].node, Height: bd})
+		merged := cluster{node: next, points: append(append([]int32{}, clusters[bi].points...), clusters[bj].points...)}
+		next++
+		nc := []cluster{}
+		for i := range clusters {
+			if i != bi && i != bj {
+				nc = append(nc, clusters[i])
+			}
+		}
+		clusters = append(nc, merged)
+	}
+	return out
+}
+
+func randomDist(rng *rand.Rand, n int) []float64 {
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() + 0.001
+			d[i*n+j] = v
+			d[j*n+i] = v
+		}
+	}
+	return d
+}
+
+func sameHeights(a, b *dendro.Dendrogram) bool {
+	if len(a.Merges) != len(b.Merges) {
+		return false
+	}
+	for i := range a.Merges {
+		if math.Abs(a.Merges[i].Height-b.Merges[i].Height) > 1e-9 {
+			return false
+		}
+	}
+	return true
+}
+
+func samePartition(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[[2]int]bool{}
+	for i := range a {
+		m[[2]int{a[i], b[i]}] = true
+	}
+	// Bijection check.
+	fa := map[int]int{}
+	fb := map[int]int{}
+	for k := range m {
+		if v, ok := fa[k[0]]; ok && v != k[1] {
+			return false
+		}
+		if v, ok := fb[k[1]]; ok && v != k[0] {
+			return false
+		}
+		fa[k[0]] = k[1]
+		fb[k[1]] = k[0]
+	}
+	return true
+}
+
+func TestMatchesBruteForceAllLinkages(t *testing.T) {
+	for _, linkage := range []Linkage{Complete, Average, Single} {
+		linkage := linkage
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			n := 3 + rng.Intn(25)
+			d := randomDist(rng, n)
+			got, err := RunMatrix(n, append([]float64{}, d...), linkage)
+			if err != nil {
+				return false
+			}
+			want := bruteForce(n, d, linkage)
+			if !sameHeights(got, want) {
+				return false
+			}
+			// Cut comparisons at several k.
+			for _, k := range []int{1, 2, n / 2, n} {
+				if k < 1 {
+					continue
+				}
+				ga, err1 := got.Cut(k)
+				gb, err2 := want.Cut(k)
+				if err1 != nil || err2 != nil || !samePartition(ga, gb) {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+	}
+}
+
+func TestRunWithDistFunc(t *testing.T) {
+	// Points on a line: 0, 1, 10, 11. Complete linkage pairs (0,1), (2,3).
+	pos := []float64{0, 1, 10, 11}
+	d, err := Run(4, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }, Complete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	labels, err := d.Cut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(labels[0] == labels[1] && labels[2] == labels[3] && labels[0] != labels[2]) {
+		t.Fatalf("labels %v", labels)
+	}
+	// First merge heights must be 1 and 1, root height 11.
+	if d.Merges[0].Height != 1 || d.Merges[1].Height != 1 {
+		t.Fatalf("first merges %v", d.Merges)
+	}
+	if d.Merges[2].Height != 11 {
+		t.Fatalf("complete-linkage root height %v want 11", d.Merges[2].Height)
+	}
+}
+
+func TestAverageLinkageHeight(t *testing.T) {
+	pos := []float64{0, 1, 10, 11}
+	d, err := Run(4, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Root height = mean of {10,11,9,10} = 10.
+	if math.Abs(d.Merges[2].Height-10) > 1e-12 {
+		t.Fatalf("average root height %v want 10", d.Merges[2].Height)
+	}
+}
+
+func TestSingleLinkageChain(t *testing.T) {
+	// Single linkage chains through closely spaced points.
+	pos := []float64{0, 1, 2, 3, 100}
+	d, err := Run(5, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }, Single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := d.Cut(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(labels[0] == labels[1] && labels[1] == labels[2] && labels[2] == labels[3] && labels[4] != labels[0]) {
+		t.Fatalf("labels %v", labels)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	if _, err := Run(0, nil, Complete); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	d, err := Run(1, nil, Complete)
+	if err != nil || len(d.Merges) != 0 {
+		t.Fatal("n=1 should give empty dendrogram")
+	}
+	d2, err := Run(2, func(i, j int) float64 { return 3 }, Average)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d2.Merges) != 1 || d2.Merges[0].Height != 3 {
+		t.Fatalf("n=2 merges %v", d2.Merges)
+	}
+	if _, err := RunMatrix(3, make([]float64, 4), Complete); err == nil {
+		t.Fatal("bad matrix size accepted")
+	}
+}
+
+func TestMonotoneHeights(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		d := randomDist(rng, n)
+		for _, linkage := range []Linkage{Complete, Average, Single} {
+			dd, err := RunMatrix(n, append([]float64{}, d...), linkage)
+			if err != nil {
+				return false
+			}
+			if dd.Validate(1e-9) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if Complete.String() != "complete" || Average.String() != "average" || Single.String() != "single" {
+		t.Fatal("bad linkage names")
+	}
+}
+
+// wardBruteForce agglomerates Euclidean points by minimum variance increase,
+// reporting heights as sqrt(2·ΔSS) — the convention our Lance-Williams
+// implementation (and scipy) uses.
+func wardBruteForce(points [][]float64) *dendro.Dendrogram {
+	type cluster struct {
+		node     int32
+		count    float64
+		centroid []float64
+	}
+	dim := len(points[0])
+	var clusters []cluster
+	for i, p := range points {
+		c := cluster{node: int32(i), count: 1, centroid: append([]float64{}, p...)}
+		clusters = append(clusters, c)
+	}
+	wardDist := func(a, b cluster) float64 {
+		ss := 0.0
+		for d := 0; d < dim; d++ {
+			diff := a.centroid[d] - b.centroid[d]
+			ss += diff * diff
+		}
+		return math.Sqrt(2 * a.count * b.count / (a.count + b.count) * ss)
+	}
+	out := &dendro.Dendrogram{N: len(points)}
+	next := int32(len(points))
+	for len(clusters) > 1 {
+		bi, bj := 0, 1
+		bd := math.Inf(1)
+		for i := range clusters {
+			for j := i + 1; j < len(clusters); j++ {
+				if dd := wardDist(clusters[i], clusters[j]); dd < bd {
+					bd, bi, bj = dd, i, j
+				}
+			}
+		}
+		a, b := clusters[bi], clusters[bj]
+		out.Merges = append(out.Merges, dendro.Merge{A: a.node, B: b.node, Height: bd})
+		merged := cluster{node: next, count: a.count + b.count, centroid: make([]float64, dim)}
+		for d := 0; d < dim; d++ {
+			merged.centroid[d] = (a.count*a.centroid[d] + b.count*b.centroid[d]) / (a.count + b.count)
+		}
+		next++
+		nc := []cluster{}
+		for i := range clusters {
+			if i != bi && i != bj {
+				nc = append(nc, clusters[i])
+			}
+		}
+		clusters = append(nc, merged)
+	}
+	return out
+}
+
+func TestWardMatchesBruteForceOnPoints(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(20)
+		dim := 1 + rng.Intn(3)
+		points := make([][]float64, n)
+		for i := range points {
+			points[i] = make([]float64, dim)
+			for d := range points[i] {
+				points[i][d] = rng.NormFloat64() * 5
+			}
+		}
+		euclid := func(i, j int) float64 {
+			ss := 0.0
+			for d := 0; d < dim; d++ {
+				diff := points[i][d] - points[j][d]
+				ss += diff * diff
+			}
+			return math.Sqrt(ss)
+		}
+		got, err := Run(n, euclid, Ward)
+		if err != nil {
+			return false
+		}
+		want := wardBruteForce(points)
+		if !sameHeights(got, want) {
+			return false
+		}
+		ga, err1 := got.Cut(3)
+		gb, err2 := want.Cut(3)
+		if n < 3 {
+			return true
+		}
+		return err1 == nil && err2 == nil && samePartition(ga, gb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedLinkageHandComputed(t *testing.T) {
+	// Points 0, 1, 2, 10 on a line. WPGMA merges: (0,1)@1, (+2)@1.5,
+	// (+10)@8.75 — distinguishable from UPGMA's 9 at the root.
+	pos := []float64{0, 1, 2, 10}
+	d, err := Run(4, func(i, j int) float64 { return math.Abs(pos[i] - pos[j]) }, Weighted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1.5, 8.75}
+	for i, m := range d.Merges {
+		if math.Abs(m.Height-want[i]) > 1e-12 {
+			t.Fatalf("merge %d height %v want %v", i, m.Height, want[i])
+		}
+	}
+}
+
+func TestWardAndWeightedMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 60
+	d := randomDist(rng, n)
+	for _, linkage := range []Linkage{Ward, Weighted} {
+		dd, err := RunMatrix(n, append([]float64{}, d...), linkage)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := dd.Validate(1e-9); err != nil {
+			t.Fatalf("%v: %v", linkage, err)
+		}
+	}
+}
+
+func TestNewLinkageStrings(t *testing.T) {
+	if Weighted.String() != "weighted" || Ward.String() != "ward" {
+		t.Fatal("bad new linkage names")
+	}
+}

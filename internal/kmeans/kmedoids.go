@@ -1,0 +1,129 @@
+package kmeans
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMedoidsResult holds a k-medoids clustering.
+type KMedoidsResult struct {
+	Labels  []int
+	Medoids []int
+	Cost    float64 // sum of distances to assigned medoids
+}
+
+// KMedoids clusters n objects given by a pairwise-distance function with a
+// PAM-style algorithm: greedy BUILD initialization followed by SWAP passes
+// until no single medoid swap improves the cost. Musmeci et al. use
+// k-medoids as one of the clustering baselines DBHT is compared against.
+//
+// dist must be symmetric with zero diagonal. maxIter bounds SWAP passes
+// (≤ 0 means a default of 30).
+func KMedoids(n int, dist func(i, j int) float64, k int, maxIter int, seed int64) (*KMedoidsResult, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("kmedoids: no objects")
+	}
+	if k < 1 || k > n {
+		return nil, fmt.Errorf("kmedoids: k=%d out of range [1,%d]", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 30
+	}
+	_ = rand.New(rand.NewSource(seed)) // reserved for tie perturbation; BUILD is deterministic
+	isMedoid := make([]bool, n)
+	medoids := make([]int, 0, k)
+	// BUILD: first medoid minimizes total distance; subsequent medoids
+	// maximize cost reduction.
+	nearest := make([]float64, n) // distance to closest chosen medoid
+	bestFirst, bestCost := 0, math.Inf(1)
+	for c := 0; c < n; c++ {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			s += dist(c, j)
+		}
+		if s < bestCost {
+			bestFirst, bestCost = c, s
+		}
+	}
+	medoids = append(medoids, bestFirst)
+	isMedoid[bestFirst] = true
+	for j := 0; j < n; j++ {
+		nearest[j] = dist(bestFirst, j)
+	}
+	for len(medoids) < k {
+		bestCand, bestGain := -1, math.Inf(-1)
+		for c := 0; c < n; c++ {
+			if isMedoid[c] {
+				continue
+			}
+			gain := 0.0
+			for j := 0; j < n; j++ {
+				if d := dist(c, j); d < nearest[j] {
+					gain += nearest[j] - d
+				}
+			}
+			if gain > bestGain {
+				bestCand, bestGain = c, gain
+			}
+		}
+		medoids = append(medoids, bestCand)
+		isMedoid[bestCand] = true
+		for j := 0; j < n; j++ {
+			if d := dist(bestCand, j); d < nearest[j] {
+				nearest[j] = d
+			}
+		}
+	}
+	// SWAP: steepest-descent single swaps.
+	assignCost := func(meds []int) float64 {
+		total := 0.0
+		for j := 0; j < n; j++ {
+			best := math.Inf(1)
+			for _, m := range meds {
+				if d := dist(m, j); d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total
+	}
+	cost := assignCost(medoids)
+	for iter := 0; iter < maxIter; iter++ {
+		bestI, bestC := -1, -1
+		bestCost := cost
+		for mi, m := range medoids {
+			for c := 0; c < n; c++ {
+				if isMedoid[c] {
+					continue
+				}
+				medoids[mi] = c
+				if nc := assignCost(medoids); nc < bestCost-1e-15 {
+					bestCost, bestI, bestC = nc, mi, c
+				}
+				medoids[mi] = m
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		isMedoid[medoids[bestI]] = false
+		isMedoid[bestC] = true
+		medoids[bestI] = bestC
+		cost = bestCost
+	}
+	labels := make([]int, n)
+	total := 0.0
+	for j := 0; j < n; j++ {
+		best, bd := 0, math.Inf(1)
+		for mi, m := range medoids {
+			if d := dist(m, j); d < bd {
+				best, bd = mi, d
+			}
+		}
+		labels[j] = best
+		total += bd
+	}
+	return &KMedoidsResult{Labels: labels, Medoids: medoids, Cost: total}, nil
+}

@@ -1,0 +1,179 @@
+// Package matrix provides the dense symmetric matrices used as similarity
+// and dissimilarity inputs to filtered-graph construction, along with
+// parallel Pearson-correlation computation for time-series data.
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"pfg/internal/parallel"
+)
+
+// Sym is a dense symmetric n×n matrix stored in row-major full form. Full
+// storage (rather than triangular) keeps the inner loops of TMFG gain
+// computation branch-free and cache-friendly.
+type Sym struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j]
+}
+
+// NewSym returns a zero-initialized n×n symmetric matrix.
+func NewSym(n int) *Sym {
+	return &Sym{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns the (i, j) entry.
+func (m *Sym) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set sets both (i, j) and (j, i) to v.
+func (m *Sym) Set(i, j int, v float64) {
+	m.Data[i*m.N+j] = v
+	m.Data[j*m.N+i] = v
+}
+
+// Row returns a view of row i.
+func (m *Sym) Row(i int) []float64 { return m.Data[i*m.N : (i+1)*m.N] }
+
+// RowSum returns the sum of row i.
+func (m *Sym) RowSum(i int) float64 {
+	s := 0.0
+	for _, v := range m.Row(i) {
+		s += v
+	}
+	return s
+}
+
+// Clone returns a deep copy of m.
+func (m *Sym) Clone() *Sym {
+	c := NewSym(m.N)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Validate checks that the matrix is finite and symmetric to within tol.
+func (m *Sym) Validate(tol float64) error {
+	if len(m.Data) != m.N*m.N {
+		return fmt.Errorf("matrix: data length %d != n²=%d", len(m.Data), m.N*m.N)
+	}
+	for i := 0; i < m.N; i++ {
+		for j := i; j < m.N; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if math.IsNaN(a) || math.IsInf(a, 0) {
+				return fmt.Errorf("matrix: non-finite entry at (%d,%d)", i, j)
+			}
+			if math.Abs(a-b) > tol {
+				return fmt.Errorf("matrix: asymmetric at (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	return nil
+}
+
+// Pearson computes the n×n Pearson correlation matrix of the given series
+// (each series[i] must have the same length ≥ 2). Zero-variance series
+// correlate 0 with everything and 1 with themselves. The computation is
+// parallel over row blocks.
+func Pearson(series [][]float64) (*Sym, error) {
+	n := len(series)
+	if n == 0 {
+		return nil, fmt.Errorf("matrix: no series")
+	}
+	l := len(series[0])
+	if l < 2 {
+		return nil, fmt.Errorf("matrix: series length %d < 2", l)
+	}
+	for i, s := range series {
+		if len(s) != l {
+			return nil, fmt.Errorf("matrix: series %d has length %d, want %d", i, len(s), l)
+		}
+	}
+	// Normalize each series to zero mean and unit L2 norm; the correlation
+	// matrix is then Z·Zᵀ.
+	z := make([][]float64, n)
+	zero := make([]bool, n)
+	parallel.ForGrain(n, 8, func(i int) {
+		zi := make([]float64, l)
+		mean := 0.0
+		for _, v := range series[i] {
+			mean += v
+		}
+		mean /= float64(l)
+		ss := 0.0
+		for t, v := range series[i] {
+			d := v - mean
+			zi[t] = d
+			ss += d * d
+		}
+		if ss == 0 {
+			zero[i] = true
+		} else {
+			inv := 1 / math.Sqrt(ss)
+			for t := range zi {
+				zi[t] *= inv
+			}
+		}
+		z[i] = zi
+	})
+	m := NewSym(n)
+	parallel.ForGrain(n, 4, func(i int) {
+		zi := z[i]
+		row := m.Row(i)
+		for j := i; j < n; j++ {
+			var p float64
+			switch {
+			case i == j:
+				p = 1
+			case zero[i] || zero[j]:
+				// p stays 0
+			default:
+				zj := z[j]
+				for t := range zi {
+					p += zi[t] * zj[t]
+				}
+				// Clamp rounding noise so dissimilarities stay real.
+				if p > 1 {
+					p = 1
+				} else if p < -1 {
+					p = -1
+				}
+			}
+			row[j] = p
+		}
+	})
+	// Mirror the upper triangle.
+	parallel.ForGrain(n, 16, func(i int) {
+		for j := 0; j < i; j++ {
+			m.Data[i*m.N+j] = m.Data[j*m.N+i]
+		}
+	})
+	return m, nil
+}
+
+// Dissimilarity converts a correlation matrix into the metric dissimilarity
+// d(i,j) = sqrt(2·(1−p(i,j))) used by the paper (Marti et al.). For
+// normalized zero-mean vectors this equals the Euclidean distance.
+func Dissimilarity(corr *Sym) *Sym {
+	d := NewSym(corr.N)
+	parallel.ForGrain(corr.N, 16, func(i int) {
+		src, dst := corr.Row(i), d.Row(i)
+		for j := range src {
+			v := 2 * (1 - src[j])
+			if v < 0 {
+				v = 0
+			}
+			dst[j] = math.Sqrt(v)
+		}
+	})
+	return d
+}
+
+// EdgeWeightSum returns the sum of similarity-matrix entries over the given
+// undirected edge list (each edge counted once).
+func EdgeWeightSum(s *Sym, edges [][2]int32) float64 {
+	total := 0.0
+	for _, e := range edges {
+		total += s.At(int(e[0]), int(e[1]))
+	}
+	return total
+}

@@ -1,0 +1,120 @@
+// Package mst implements the minimum-spanning-tree filtered graph of
+// Mantegna (1999), the earliest correlation-filtering method the paper
+// cites as related work. The MST keeps n−1 of the Θ(n²) dissimilarities —
+// an even sparser filter than the TMFG's 3n−6 — and its associated
+// hierarchy is exactly single-linkage clustering, which the experiment
+// harness uses as an additional baseline (MST-SL).
+package mst
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pfg/internal/dendro"
+	"pfg/internal/graph"
+	"pfg/internal/matrix"
+)
+
+// MinimumSpanningTree computes the MST of the complete graph whose edge
+// weights are the entries of the dissimilarity matrix, using dense Prim in
+// O(n²) time (optimal for complete graphs). Ties break toward smaller
+// vertex ids, making the result deterministic.
+func MinimumSpanningTree(dis *matrix.Sym) ([]graph.Edge, error) {
+	n := dis.N
+	if n < 2 {
+		return nil, fmt.Errorf("mst: need at least 2 vertices, have %d", n)
+	}
+	inTree := make([]bool, n)
+	best := make([]float64, n)
+	from := make([]int32, n)
+	for i := range best {
+		best[i] = math.Inf(1)
+		from[i] = -1
+	}
+	inTree[0] = true
+	row0 := dis.Row(0)
+	for v := 1; v < n; v++ {
+		best[v] = row0[v]
+		from[v] = 0
+	}
+	edges := make([]graph.Edge, 0, n-1)
+	for len(edges) < n-1 {
+		pick := int32(-1)
+		for v := 0; v < n; v++ {
+			if inTree[v] {
+				continue
+			}
+			if pick < 0 || best[v] < best[pick] {
+				pick = int32(v)
+			}
+		}
+		if pick < 0 {
+			return nil, fmt.Errorf("mst: internal error: no vertex to add")
+		}
+		inTree[pick] = true
+		edges = append(edges, graph.Edge{U: from[pick], V: pick, W: best[pick]})
+		row := dis.Row(int(pick))
+		for v := 0; v < n; v++ {
+			if !inTree[v] && row[v] < best[v] {
+				best[v] = row[v]
+				from[v] = pick
+			}
+		}
+	}
+	return edges, nil
+}
+
+// MaximumSpanningTree computes the maximum spanning tree of a similarity
+// matrix (Mantegna's original formulation keeps the strongest correlations).
+func MaximumSpanningTree(sim *matrix.Sym) ([]graph.Edge, error) {
+	neg := matrix.NewSym(sim.N)
+	for i, v := range sim.Data {
+		neg.Data[i] = -v
+	}
+	edges, err := MinimumSpanningTree(neg)
+	if err != nil {
+		return nil, err
+	}
+	for i := range edges {
+		edges[i].W = -edges[i].W
+	}
+	return edges, nil
+}
+
+// SingleLinkage builds the single-linkage dendrogram directly from the MST:
+// sorting the tree's edges by weight and merging with union-find yields
+// exactly the single-linkage hierarchy of the full matrix (Gower &
+// Ross 1969), in O(n²) total instead of HAC's O(n²)-with-large-constants.
+func SingleLinkage(dis *matrix.Sym) (*dendro.Dendrogram, error) {
+	if dis.N == 1 {
+		return &dendro.Dendrogram{N: 1}, nil
+	}
+	edges, err := MinimumSpanningTree(dis)
+	if err != nil {
+		return nil, err
+	}
+	sort.SliceStable(edges, func(i, j int) bool { return edges[i].W < edges[j].W })
+	n := dis.N
+	parent := make([]int32, 2*n-1)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	d := &dendro.Dendrogram{N: n, Merges: make([]dendro.Merge, 0, n-1)}
+	for i, e := range edges {
+		self := int32(n + i)
+		a, b := find(e.U), find(e.V)
+		d.Merges = append(d.Merges, dendro.Merge{A: a, B: b, Height: e.W})
+		parent[a] = self
+		parent[b] = self
+	}
+	return d, nil
+}

@@ -1,0 +1,145 @@
+package parallel
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Float64 is an atomic float64 supporting the priority concurrent writes
+// from Table I of the paper: WriteMin, WriteMax, and WriteAdd. All methods
+// use compare-and-swap loops on the IEEE-754 bit pattern.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// NewFloat64 returns an atomic float64 initialized to v.
+func NewFloat64(v float64) *Float64 {
+	f := new(Float64)
+	f.Store(v)
+	return f
+}
+
+// Load returns the current value.
+func (f *Float64) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Store sets the value to v.
+func (f *Float64) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Add atomically adds delta to the value (the paper's WRITE_ADD).
+func (f *Float64) Add(delta float64) {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if f.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Min atomically stores v if it is smaller than the current value (the
+// paper's WRITE_MIN). It reports whether the stored value changed.
+func (f *Float64) Min(v float64) bool {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if v >= cur {
+			return false
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}
+
+// Max atomically stores v if it is larger than the current value (the
+// paper's WRITE_MAX). It reports whether the stored value changed.
+func (f *Float64) Max(v float64) bool {
+	for {
+		old := f.bits.Load()
+		cur := math.Float64frombits(old)
+		if v <= cur {
+			return false
+		}
+		if f.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return true
+		}
+	}
+}
+
+// ArgPair is a (value, id) pair ordered primarily by value, with ties broken
+// toward the smaller id. It is the payload of ArgMin/ArgMax priority writes
+// such as the WRITE_MAX(v.g, (χ, b)) calls in Algorithm 4.
+type ArgPair struct {
+	Value float64
+	ID    int32
+}
+
+// lessPair reports whether a orders strictly before b (smaller value, or
+// equal value with larger id, so that the max-preferred pair has the
+// smallest id among equal values).
+func lessPair(a, b ArgPair) bool {
+	if a.Value != b.Value {
+		return a.Value < b.Value
+	}
+	return a.ID > b.ID
+}
+
+// ArgMax is an atomic (value, id) register supporting priority max-writes.
+// The zero value holds (-Inf, -1).
+type ArgMax struct {
+	p atomic.Pointer[ArgPair]
+}
+
+// Load returns the current pair, or (-Inf, -1) if never written.
+func (a *ArgMax) Load() ArgPair {
+	if p := a.p.Load(); p != nil {
+		return *p
+	}
+	return ArgPair{Value: math.Inf(-1), ID: -1}
+}
+
+// Write atomically replaces the current pair if (v, id) orders after it.
+func (a *ArgMax) Write(v float64, id int32) bool {
+	np := &ArgPair{Value: v, ID: id}
+	for {
+		old := a.p.Load()
+		if old != nil && !lessPair(*old, *np) {
+			return false
+		}
+		if a.p.CompareAndSwap(old, np) {
+			return true
+		}
+	}
+}
+
+// ArgMin is an atomic (value, id) register supporting priority min-writes,
+// with ties broken toward the smaller id. The zero value holds (+Inf, -1).
+type ArgMin struct {
+	p atomic.Pointer[ArgPair]
+}
+
+// Load returns the current pair, or (+Inf, -1) if never written.
+func (a *ArgMin) Load() ArgPair {
+	if p := a.p.Load(); p != nil {
+		return *p
+	}
+	return ArgPair{Value: math.Inf(1), ID: -1}
+}
+
+// Write atomically replaces the current pair if (v, id) orders before it:
+// strictly smaller value, or equal value with smaller id.
+func (a *ArgMin) Write(v float64, id int32) bool {
+	np := &ArgPair{Value: v, ID: id}
+	for {
+		old := a.p.Load()
+		if old != nil {
+			better := np.Value < old.Value || (np.Value == old.Value && np.ID < old.ID)
+			if !better {
+				return false
+			}
+		}
+		if a.p.CompareAndSwap(old, np) {
+			return true
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type kv struct {
+	k int32
+	v int
+}
+
+func TestSortInt32ByKeyMatchesStdlib(t *testing.T) {
+	f := func(seed int64, sizeRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(sizeRaw) * 8 // cover sequential and parallel paths
+		bound := int32(1 + rng.Intn(2*n+10))
+		items := make([]kv, n)
+		for i := range items {
+			items[i] = kv{k: int32(rng.Intn(int(bound))), v: i}
+		}
+		got := append([]kv{}, items...)
+		SortInt32ByKey(got, func(x kv) int32 { return x.k }, bound)
+		want := append([]kv{}, items...)
+		sort.SliceStable(want, func(a, b int) bool { return want[a].k < want[b].k })
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortInt32ByKeyStable(t *testing.T) {
+	n := 50000
+	rng := rand.New(rand.NewSource(1))
+	items := make([]kv, n)
+	for i := range items {
+		items[i] = kv{k: int32(rng.Intn(16)), v: i}
+	}
+	SortInt32ByKey(items, func(x kv) int32 { return x.k }, 16)
+	for i := 1; i < n; i++ {
+		if items[i-1].k > items[i].k {
+			t.Fatal("not sorted")
+		}
+		if items[i-1].k == items[i].k && items[i-1].v > items[i].v {
+			t.Fatal("not stable")
+		}
+	}
+}
+
+func TestSortInt32ByKeyLargeRangeFallback(t *testing.T) {
+	// Key bound far above n triggers the comparison-sort fallback.
+	n := 1000
+	rng := rand.New(rand.NewSource(2))
+	items := make([]kv, n)
+	for i := range items {
+		items[i] = kv{k: rng.Int31(), v: i}
+	}
+	SortInt32ByKey(items, func(x kv) int32 { return x.k }, 1<<30)
+	for i := 1; i < n; i++ {
+		if items[i-1].k > items[i].k {
+			t.Fatal("fallback not sorted")
+		}
+	}
+}
+
+func TestSortInt32ByKeyEdgeCases(t *testing.T) {
+	SortInt32ByKey(nil, func(x kv) int32 { return x.k }, 10)
+	one := []kv{{k: 3}}
+	SortInt32ByKey(one, func(x kv) int32 { return x.k }, 10)
+	if one[0].k != 3 {
+		t.Fatal("single element disturbed")
+	}
+	// All equal keys.
+	eq := make([]kv, 10000)
+	for i := range eq {
+		eq[i] = kv{k: 5, v: i}
+	}
+	SortInt32ByKey(eq, func(x kv) int32 { return x.k }, 6)
+	for i := range eq {
+		if eq[i].v != i {
+			t.Fatal("equal keys must keep order")
+		}
+	}
+}

@@ -1,0 +1,359 @@
+package parallel
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 511, 512, 513, 100000} {
+		seen := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForGrainCoversAllIndices(t *testing.T) {
+	n := 10000
+	seen := make([]int32, n)
+	ForGrain(n, 1, func(i int) { atomic.AddInt32(&seen[i], 1) })
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForBlockedPartition(t *testing.T) {
+	n := 99999
+	var total int64
+	var mu sync.Mutex
+	ForBlocked(n, 100, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad block [%d,%d)", lo, hi)
+		}
+		mu.Lock()
+		total += int64(hi - lo)
+		mu.Unlock()
+	})
+	if total != int64(n) {
+		t.Fatalf("blocks cover %d of %d indices", total, n)
+	}
+}
+
+func TestDoRunsAll(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 2) },
+		func() { atomic.StoreInt32(&c, 3) },
+	)
+	if a != 1 || b != 2 || c != 3 {
+		t.Fatalf("Do did not run all functions: %d %d %d", a, b, c)
+	}
+	Do() // must not panic
+}
+
+func TestFilterMatchesSequential(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw) * 4 // exercise both sequential and parallel paths
+		rng := rand.New(rand.NewSource(seed))
+		s := make([]int, n)
+		for i := range s {
+			s[i] = rng.Intn(100)
+		}
+		keep := func(v int) bool { return v%3 == 0 }
+		got := Filter(s, keep)
+		var want []int
+		for _, v := range s {
+			if keep(v) {
+				want = append(want, v)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFilterIndex(t *testing.T) {
+	got := FilterIndex(10, func(i int) bool { return i%2 == 0 })
+	want := []int32{0, 2, 4, 6, 8}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestSortMatchesStdlib(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, sortSeqCutoff - 1, sortSeqCutoff, 3 * sortSeqCutoff, 100000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.Float64()
+		}
+		want := append([]float64(nil), s...)
+		sort.Float64s(want)
+		Sort(s, func(a, b float64) bool { return a < b })
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("n=%d: mismatch at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestSortDescending(t *testing.T) {
+	n := 50000
+	rng := rand.New(rand.NewSource(7))
+	s := make([]int, n)
+	for i := range s {
+		s[i] = rng.Intn(1000)
+	}
+	Sort(s, func(a, b int) bool { return a > b })
+	for i := 1; i < n; i++ {
+		if s[i-1] < s[i] {
+			t.Fatalf("not descending at %d: %d < %d", i, s[i-1], s[i])
+		}
+	}
+}
+
+func TestMaxIndex(t *testing.T) {
+	if got := MaxIndex(0, nil); got != -1 {
+		t.Fatalf("empty: got %d", got)
+	}
+	for _, n := range []int{1, 10, 5000, 100000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = rng.NormFloat64()
+		}
+		got := MaxIndex(n, func(i int) float64 { return s[i] })
+		want := 0
+		for i := 1; i < n; i++ {
+			if s[i] > s[want] {
+				want = i
+			}
+		}
+		if got != want {
+			t.Fatalf("n=%d: got %d want %d", n, got, want)
+		}
+	}
+}
+
+func TestMaxIndexTieBreak(t *testing.T) {
+	// All equal: must return the smallest index.
+	n := 100000
+	got := MaxIndex(n, func(i int) float64 { return 1.0 })
+	if got != 0 {
+		t.Fatalf("tie-break: got %d want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 100000} {
+		got := Sum(n, func(i int) float64 { return 1 })
+		if got != float64(n) {
+			t.Fatalf("n=%d: got %v", n, got)
+		}
+	}
+}
+
+func TestFloat64Add(t *testing.T) {
+	var f Float64
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != workers*per {
+		t.Fatalf("got %v want %d", got, workers*per)
+	}
+}
+
+func TestFloat64MinMax(t *testing.T) {
+	min := NewFloat64(1e18)
+	max := NewFloat64(-1e18)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 1000; i++ {
+				v := rng.NormFloat64() * 100
+				min.Min(v)
+				max.Max(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if min.Load() >= max.Load() {
+		t.Fatalf("min %v >= max %v", min.Load(), max.Load())
+	}
+	// Deterministic check: replay sequentially.
+	lo, hi := 1e18, -1e18
+	for w := 0; w < 8; w++ {
+		rng := rand.New(rand.NewSource(int64(w)))
+		for i := 0; i < 1000; i++ {
+			v := rng.NormFloat64() * 100
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if min.Load() != lo || max.Load() != hi {
+		t.Fatalf("got (%v,%v) want (%v,%v)", min.Load(), max.Load(), lo, hi)
+	}
+}
+
+func TestArgMaxConcurrent(t *testing.T) {
+	var a ArgMax
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				a.Write(float64((w*500+i)%977), int32(w*500+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := a.Load()
+	if got.Value != 976 {
+		t.Fatalf("got value %v want 976", got.Value)
+	}
+	// Smallest id among all writes with value 976.
+	wantID := int32(-1)
+	for w := 0; w < 8; w++ {
+		for i := 0; i < 500; i++ {
+			id := int32(w*500 + i)
+			if int(id)%977 == 976 && (wantID == -1 || id < wantID) {
+				wantID = id
+			}
+		}
+	}
+	if got.ID != wantID {
+		t.Fatalf("got id %d want %d", got.ID, wantID)
+	}
+}
+
+func TestArgMinConcurrent(t *testing.T) {
+	var a ArgMin
+	if p := a.Load(); p.ID != -1 {
+		t.Fatalf("zero value should have ID -1, got %d", p.ID)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 500; i++ {
+				a.Write(float64(i%251+1), int32(w*500+i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := a.Load()
+	if got.Value != 1 {
+		t.Fatalf("got value %v want 1", got.Value)
+	}
+}
+
+func TestArgMaxTieBreaksTowardSmallID(t *testing.T) {
+	var a ArgMax
+	a.Write(5, 10)
+	a.Write(5, 3)
+	a.Write(5, 7)
+	if got := a.Load(); got.ID != 3 {
+		t.Fatalf("tie-break: got id %d want 3", got.ID)
+	}
+	a.Write(6, 99)
+	if got := a.Load(); got.ID != 99 || got.Value != 6 {
+		t.Fatalf("larger value must win: got %+v", a.Load())
+	}
+}
+
+func TestScanExclusive(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 1000, 100000} {
+		s := make([]int64, n)
+		for i := range s {
+			s[i] = int64(i%7 + 1)
+		}
+		want := make([]int64, n)
+		var acc int64
+		for i := range s {
+			want[i] = acc
+			acc += s[i]
+		}
+		total := ScanExclusive(s)
+		if total != acc {
+			t.Fatalf("n=%d: total %d want %d", n, total, acc)
+		}
+		for i := range s {
+			if s[i] != want[i] {
+				t.Fatalf("n=%d: s[%d]=%d want %d", n, i, s[i], want[i])
+			}
+		}
+	}
+}
+
+func TestScanInclusive(t *testing.T) {
+	s := []int64{1, 2, 3, 4}
+	total := ScanInclusive(s)
+	if total != 10 {
+		t.Fatalf("total %d", total)
+	}
+	want := []int64{1, 3, 6, 10}
+	for i := range s {
+		if s[i] != want[i] {
+			t.Fatalf("inclusive scan %v want %v", s, want)
+		}
+	}
+	if ScanInclusive(nil) != 0 {
+		t.Fatal("empty inclusive scan")
+	}
+	// Large parallel path.
+	big := make([]int64, 200000)
+	for i := range big {
+		big[i] = 1
+	}
+	if got := ScanInclusive(big); got != 200000 {
+		t.Fatalf("big total %d", got)
+	}
+	if big[123456] != 123457 {
+		t.Fatalf("big[123456]=%d", big[123456])
+	}
+}

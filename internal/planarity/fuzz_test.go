@@ -1,0 +1,47 @@
+package planarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPlanarRobustness hammers the test with arbitrary (possibly degenerate)
+// inputs: it must never panic, and must respect easy certificates — graphs
+// with < 9 edges are always planar (K5 needs 10, K3,3 needs 9), and graphs
+// over the Euler bound never are.
+func TestPlanarRobustness(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(30)
+		m := rng.Intn(3*n + 2)
+		if max := n * (n - 1) / 2; m > max {
+			m = max // fewer possible edges than requested (e.g. n=1)
+		}
+		var edges [][2]int32
+		seen := map[[2]int32]bool{}
+		for len(edges) < m {
+			u, v := int32(rng.Intn(n)), int32(rng.Intn(n))
+			if u == v {
+				continue
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int32{u, v}] {
+				if len(seen) >= n*(n-1)/2 {
+					break
+				}
+				continue
+			}
+			seen[[2]int32{u, v}] = true
+			edges = append(edges, [2]int32{u, v})
+		}
+		got := Planar(n, edges)
+		if len(edges) < 9 && !got {
+			t.Fatalf("n=%d, %d edges: graphs under 9 edges are always planar", n, len(edges))
+		}
+		if n >= 3 && len(edges) > 3*n-6 && got {
+			t.Fatalf("n=%d, %d edges: Euler bound violated but accepted", n, len(edges))
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package planarity
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// hasMinor reports whether g (adjacency matrix on n vertices) has the given
+// target graph as a minor, by brute force over vertex-set partitions: assign
+// each vertex to one of the target's branch sets (or none), require each
+// branch set to induce a connected subgraph, and require an edge between
+// every pair of branch sets that are adjacent in the target. Exponential —
+// only for tiny n.
+func hasMinor(n int, adj [][]bool, targetN int, targetEdge func(a, b int) bool) bool {
+	assign := make([]int, n) // 0 = unused, 1..targetN = branch set
+	var rec func(v int) bool
+	check := func() bool {
+		// Branch sets non-empty and connected.
+		for b := 1; b <= targetN; b++ {
+			var members []int
+			for v := 0; v < n; v++ {
+				if assign[v] == b {
+					members = append(members, v)
+				}
+			}
+			if len(members) == 0 {
+				return false
+			}
+			// Connectivity of the branch set.
+			seen := map[int]bool{members[0]: true}
+			queue := []int{members[0]}
+			for len(queue) > 0 {
+				x := queue[0]
+				queue = queue[1:]
+				for _, y := range members {
+					if !seen[y] && adj[x][y] {
+						seen[y] = true
+						queue = append(queue, y)
+					}
+				}
+			}
+			if len(seen) != len(members) {
+				return false
+			}
+		}
+		// Required edges between branch sets.
+		for a := 1; a <= targetN; a++ {
+			for b := a + 1; b <= targetN; b++ {
+				if !targetEdge(a-1, b-1) {
+					continue
+				}
+				found := false
+				for v := 0; v < n && !found; v++ {
+					if assign[v] != a {
+						continue
+					}
+					for u := 0; u < n; u++ {
+						if assign[u] == b && adj[v][u] {
+							found = true
+							break
+						}
+					}
+				}
+				if !found {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec = func(v int) bool {
+		if v == n {
+			return check()
+		}
+		for b := 0; b <= targetN; b++ {
+			assign[v] = b
+			if rec(v + 1) {
+				return true
+			}
+		}
+		assign[v] = 0
+		return false
+	}
+	return rec(0)
+}
+
+// kuratowskiFree reports whether the graph has neither a K5 nor a K3,3
+// minor — by Wagner's theorem, exactly the planar graphs.
+func kuratowskiFree(n int, edges [][2]int32) bool {
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, e := range edges {
+		adj[e[0]][e[1]] = true
+		adj[e[1]][e[0]] = true
+	}
+	k5 := func(a, b int) bool { return true }
+	k33 := func(a, b int) bool { return (a < 3) != (b < 3) }
+	if hasMinor(n, adj, 5, k5) {
+		return false
+	}
+	if hasMinor(n, adj, 6, k33) {
+		return false
+	}
+	return true
+}
+
+// TestPlanarMatchesWagnerTheorem cross-checks the LR test against
+// brute-force forbidden-minor detection on every random graph of up to 7
+// vertices we can afford.
+func TestPlanarMatchesWagnerTheorem(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 120; trial++ {
+		n := 5 + rng.Intn(3) // 5..7
+		var edges [][2]int32
+		p := 0.3 + rng.Float64()*0.55
+		for i := int32(0); int(i) < n; i++ {
+			for j := i + 1; int(j) < n; j++ {
+				if rng.Float64() < p {
+					edges = append(edges, [2]int32{i, j})
+				}
+			}
+		}
+		got := Planar(n, edges)
+		want := kuratowskiFree(n, edges)
+		if got != want {
+			t.Fatalf("n=%d edges=%v: Planar=%v, Wagner=%v", n, edges, got, want)
+		}
+	}
+}

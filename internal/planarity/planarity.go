@@ -1,0 +1,360 @@
+// Package planarity implements the left-right planarity test of de
+// Fraysseix and Rosenstiehl (in the formulation of Brandes), which decides
+// in linear time whether a simple undirected graph is planar. It is the
+// planarity oracle used by PMFG construction, replacing the Boost planarity
+// test used by the reference implementation.
+package planarity
+
+import "sort"
+
+// Planar reports whether the simple undirected graph on n vertices with the
+// given edge list is planar. Self loops and duplicate edges must not be
+// present (duplicate edges are tolerated but may degrade performance).
+func Planar(n int, edges [][2]int32) bool {
+	if n <= 4 {
+		// Every graph on at most four vertices is planar.
+		return true
+	}
+	m := len(edges)
+	if m > 3*n-6 {
+		return false // violates Euler's bound
+	}
+	s := newState(n, edges)
+	// Phase 1: DFS orientation.
+	for v := int32(0); int(v) < n; v++ {
+		if s.height[v] < 0 {
+			s.height[v] = 0
+			s.roots = append(s.roots, v)
+			s.dfsOrientation(v)
+		}
+	}
+	// Order out-edges by nesting depth.
+	s.buildOrderedAdj()
+	// Phase 2: testing.
+	for _, r := range s.roots {
+		if !s.dfsTesting(r) {
+			return false
+		}
+	}
+	return true
+}
+
+const nilEdge = int32(-1)
+
+// interval is an interval of back edges, identified by its low and high
+// oriented-edge ids (nilEdge when empty).
+type interval struct {
+	low, high int32
+}
+
+func (i interval) empty() bool { return i.low == nilEdge && i.high == nilEdge }
+
+// conflictPair holds the left and right interval of a branch's return edges.
+type conflictPair struct {
+	l, r interval
+}
+
+func (p *conflictPair) swap() { p.l, p.r = p.r, p.l }
+
+type state struct {
+	n int
+	// Undirected incidence: for vertex v, incident edge ids are
+	// inc[incOff[v]:incOff[v+1]] with other endpoint in incDst.
+	incOff []int32
+	inc    []int32
+	incDst []int32
+
+	// Per oriented edge (orientation fixed by DFS): src/dst endpoints.
+	src, dst []int32
+	oriented []bool
+
+	height     []int32 // DFS height per vertex, -1 = unvisited
+	parentEdge []int32 // oriented edge id of tree edge into v, nilEdge at roots
+	roots      []int32
+
+	lowpt, lowpt2 []int32
+	nesting       []int32
+	lowptEdge     []int32
+	ref           []int32
+	stackBottom   []int32 // per edge: stack height when it was processed
+
+	orderedAdj [][]int32 // out-edges per vertex, sorted by nesting depth
+
+	stack []conflictPair
+}
+
+func newState(n int, edges [][2]int32) *state {
+	m := len(edges)
+	s := &state{
+		n:           n,
+		incOff:      make([]int32, n+1),
+		inc:         make([]int32, 2*m),
+		incDst:      make([]int32, 2*m),
+		src:         make([]int32, m),
+		dst:         make([]int32, m),
+		oriented:    make([]bool, m),
+		height:      make([]int32, n),
+		parentEdge:  make([]int32, n),
+		lowpt:       make([]int32, m),
+		lowpt2:      make([]int32, m),
+		nesting:     make([]int32, m),
+		lowptEdge:   make([]int32, m),
+		ref:         make([]int32, m),
+		stackBottom: make([]int32, m),
+		orderedAdj:  make([][]int32, n),
+	}
+	deg := make([]int32, n)
+	for _, e := range edges {
+		deg[e[0]]++
+		deg[e[1]]++
+	}
+	for v := 0; v < n; v++ {
+		s.incOff[v+1] = s.incOff[v] + deg[v]
+	}
+	pos := make([]int32, n)
+	copy(pos, s.incOff[:n])
+	for id, e := range edges {
+		u, v := e[0], e[1]
+		s.inc[pos[u]] = int32(id)
+		s.incDst[pos[u]] = v
+		pos[u]++
+		s.inc[pos[v]] = int32(id)
+		s.incDst[pos[v]] = u
+		pos[v]++
+	}
+	for v := range s.height {
+		s.height[v] = -1
+		s.parentEdge[v] = nilEdge
+	}
+	for e := 0; e < m; e++ {
+		s.ref[e] = nilEdge
+		s.lowptEdge[e] = nilEdge
+	}
+	return s
+}
+
+// dfsOrientation performs phase 1 from root v: orients edges, computes
+// heights, lowpoints, and nesting depths.
+func (s *state) dfsOrientation(v int32) {
+	e := s.parentEdge[v]
+	for k := s.incOff[v]; k < s.incOff[v+1]; k++ {
+		id, w := s.inc[k], s.incDst[k]
+		if s.oriented[id] {
+			continue
+		}
+		s.oriented[id] = true
+		s.src[id], s.dst[id] = v, w
+		s.lowpt[id] = s.height[v]
+		s.lowpt2[id] = s.height[v]
+		if s.height[w] < 0 { // tree edge
+			s.parentEdge[w] = id
+			s.height[w] = s.height[v] + 1
+			s.dfsOrientation(w)
+		} else { // back edge
+			s.lowpt[id] = s.height[w]
+		}
+		// Nesting depth: chordal edges nest one deeper.
+		s.nesting[id] = 2 * s.lowpt[id]
+		if s.lowpt2[id] < s.height[v] {
+			s.nesting[id]++
+		}
+		// Propagate lowpoints to the parent edge.
+		if e != nilEdge {
+			switch {
+			case s.lowpt[id] < s.lowpt[e]:
+				s.lowpt2[e] = min32(s.lowpt[e], s.lowpt2[id])
+				s.lowpt[e] = s.lowpt[id]
+			case s.lowpt[id] > s.lowpt[e]:
+				s.lowpt2[e] = min32(s.lowpt2[e], s.lowpt[id])
+			default:
+				s.lowpt2[e] = min32(s.lowpt2[e], s.lowpt2[id])
+			}
+		}
+	}
+}
+
+func (s *state) buildOrderedAdj() {
+	for v := int32(0); int(v) < s.n; v++ {
+		var out []int32
+		for k := s.incOff[v]; k < s.incOff[v+1]; k++ {
+			id := s.inc[k]
+			if s.oriented[id] && s.src[id] == v {
+				out = append(out, id)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			if s.nesting[out[a]] != s.nesting[out[b]] {
+				return s.nesting[out[a]] < s.nesting[out[b]]
+			}
+			return out[a] < out[b]
+		})
+		s.orderedAdj[v] = out
+	}
+}
+
+func (s *state) top() *conflictPair {
+	if len(s.stack) == 0 {
+		return nil
+	}
+	return &s.stack[len(s.stack)-1]
+}
+
+// conflicting reports whether interval i contains a back edge returning
+// strictly above lowpt[b].
+func (s *state) conflicting(i interval, b int32) bool {
+	return !i.empty() && s.lowpt[i.high] > s.lowpt[b]
+}
+
+// lowest returns the lowest return height of a conflict pair.
+func (s *state) lowest(p conflictPair) int32 {
+	if p.l.empty() {
+		return s.lowpt[p.r.low]
+	}
+	if p.r.empty() {
+		return s.lowpt[p.l.low]
+	}
+	return min32(s.lowpt[p.l.low], s.lowpt[p.r.low])
+}
+
+// dfsTesting performs phase 2 from vertex v, maintaining the conflict-pair
+// stack. It returns false as soon as a left-right partition is impossible.
+func (s *state) dfsTesting(v int32) bool {
+	e := s.parentEdge[v]
+	for i, id := range s.orderedAdj[v] {
+		s.stackBottom[id] = int32(len(s.stack))
+		w := s.dst[id]
+		if id == s.parentEdge[w] { // tree edge
+			if !s.dfsTesting(w) {
+				return false
+			}
+		} else { // back edge
+			s.lowptEdge[id] = id
+			s.stack = append(s.stack, conflictPair{
+				l: interval{low: nilEdge, high: nilEdge},
+				r: interval{low: id, high: id},
+			})
+		}
+		if s.lowpt[id] < s.height[v] { // id has a return edge
+			if i == 0 {
+				s.lowptEdge[e] = s.lowptEdge[id]
+			} else if !s.addConstraints(id, e) {
+				return false
+			}
+		}
+	}
+	if e != nilEdge {
+		s.removeBackEdges(e)
+	}
+	return true
+}
+
+func (s *state) addConstraints(ei, e int32) bool {
+	var p conflictPair
+	p.l = interval{nilEdge, nilEdge}
+	p.r = interval{nilEdge, nilEdge}
+	// Merge return edges of ei into p.r.
+	for {
+		q := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if !q.l.empty() {
+			q.swap()
+		}
+		if !q.l.empty() {
+			return false // not planar
+		}
+		if s.lowpt[q.r.low] > s.lowpt[e] {
+			// Merge intervals.
+			if p.r.empty() {
+				p.r.high = q.r.high
+			} else {
+				s.ref[p.r.low] = q.r.high
+			}
+			p.r.low = q.r.low
+		} else {
+			// Align.
+			s.ref[q.r.low] = s.lowptEdge[e]
+		}
+		if int32(len(s.stack)) == s.stackBottom[ei] {
+			break
+		}
+	}
+	// Merge conflicting return edges of previous siblings into p.l.
+	for {
+		t := s.top()
+		if t == nil || !(s.conflicting(t.l, ei) || s.conflicting(t.r, ei)) {
+			break
+		}
+		q := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		if s.conflicting(q.r, ei) {
+			q.swap()
+		}
+		if s.conflicting(q.r, ei) {
+			return false // not planar
+		}
+		// Merge interval below lowpt(ei) into p.r.
+		s.ref[p.r.low] = q.r.high
+		if q.r.low != nilEdge {
+			p.r.low = q.r.low
+		}
+		if p.l.empty() {
+			p.l.high = q.l.high
+		} else {
+			s.ref[p.l.low] = q.l.high
+		}
+		p.l.low = q.l.low
+	}
+	if !(p.l.empty() && p.r.empty()) {
+		s.stack = append(s.stack, p)
+	}
+	return true
+}
+
+func (s *state) removeBackEdges(e int32) {
+	u := s.src[e]
+	// Drop entire conflict pairs whose lowest return is at height(u).
+	for len(s.stack) > 0 && s.lowest(s.stack[len(s.stack)-1]) == s.height[u] {
+		s.stack = s.stack[:len(s.stack)-1]
+	}
+	if len(s.stack) > 0 {
+		p := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		// Trim left interval.
+		for p.l.high != nilEdge && s.dst[p.l.high] == u {
+			p.l.high = s.ref[p.l.high]
+		}
+		if p.l.high == nilEdge && p.l.low != nilEdge {
+			s.ref[p.l.low] = p.r.low
+			p.l.low = nilEdge
+		}
+		// Trim right interval.
+		for p.r.high != nilEdge && s.dst[p.r.high] == u {
+			p.r.high = s.ref[p.r.high]
+		}
+		if p.r.high == nilEdge && p.r.low != nilEdge {
+			s.ref[p.r.low] = p.l.low
+			p.r.low = nilEdge
+		}
+		s.stack = append(s.stack, p)
+	}
+	// Record the side reference of e (needed only for embedding; we keep the
+	// lowpt_edge bookkeeping that later rounds rely on).
+	if s.lowpt[e] < s.height[u] {
+		t := s.top()
+		if t != nil {
+			hl, hr := t.l.high, t.r.high
+			if hl != nilEdge && (hr == nilEdge || s.lowpt[hl] > s.lowpt[hr]) {
+				s.ref[e] = hl
+			} else {
+				s.ref[e] = hr
+			}
+		}
+	}
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}

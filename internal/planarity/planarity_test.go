@@ -1,0 +1,281 @@
+package planarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func complete(n int) [][2]int32 {
+	var e [][2]int32
+	for i := int32(0); int(i) < n; i++ {
+		for j := i + 1; int(j) < n; j++ {
+			e = append(e, [2]int32{i, j})
+		}
+	}
+	return e
+}
+
+func completeBipartite(a, b int) (int, [][2]int32) {
+	var e [][2]int32
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			e = append(e, [2]int32{int32(i), int32(a + j)})
+		}
+	}
+	return a + b, e
+}
+
+// stackedTriangulation generates a random maximal planar graph on n ≥ 4
+// vertices by repeatedly inserting a vertex into a random triangular face
+// (an Apollonian network). Returns the edges and the list of faces at the
+// end, so callers can reason about non-edges.
+func stackedTriangulation(rng *rand.Rand, n int) [][2]int32 {
+	edges := complete(4)
+	faces := [][3]int32{{0, 1, 2}, {0, 1, 3}, {0, 2, 3}, {1, 2, 3}}
+	for v := int32(4); int(v) < n; v++ {
+		fi := rng.Intn(len(faces))
+		f := faces[fi]
+		edges = append(edges, [2]int32{f[0], v}, [2]int32{f[1], v}, [2]int32{f[2], v})
+		faces[fi] = [3]int32{f[0], f[1], v}
+		faces = append(faces, [3]int32{f[1], f[2], v}, [3]int32{f[0], f[2], v})
+	}
+	return edges
+}
+
+func TestSmallGraphsPlanar(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		if !Planar(n, complete(n)) {
+			t.Fatalf("K%d must be planar", n)
+		}
+	}
+}
+
+func TestK5NotPlanar(t *testing.T) {
+	if Planar(5, complete(5)) {
+		t.Fatal("K5 must not be planar")
+	}
+}
+
+func TestK33NotPlanar(t *testing.T) {
+	n, e := completeBipartite(3, 3)
+	if Planar(n, e) {
+		t.Fatal("K3,3 must not be planar")
+	}
+}
+
+func TestK23Planar(t *testing.T) {
+	n, e := completeBipartite(2, 3)
+	if !Planar(n, e) {
+		t.Fatal("K2,3 must be planar")
+	}
+}
+
+func TestK2NPlanar(t *testing.T) {
+	n, e := completeBipartite(2, 20)
+	if !Planar(n, e) {
+		t.Fatal("K2,20 must be planar")
+	}
+}
+
+func TestPetersenNotPlanar(t *testing.T) {
+	// Outer 5-cycle 0..4, inner pentagram 5..9, spokes i—i+5.
+	var e [][2]int32
+	for i := int32(0); i < 5; i++ {
+		e = append(e, [2]int32{i, (i + 1) % 5})
+		e = append(e, [2]int32{5 + i, 5 + (i+2)%5})
+		e = append(e, [2]int32{i, i + 5})
+	}
+	if Planar(10, e) {
+		t.Fatal("Petersen graph must not be planar")
+	}
+}
+
+func TestOctahedronPlanar(t *testing.T) {
+	// K6 minus a perfect matching (the octahedron) is maximal planar.
+	var e [][2]int32
+	match := map[[2]int32]bool{{0, 1}: true, {2, 3}: true, {4, 5}: true}
+	for _, ed := range complete(6) {
+		if !match[ed] {
+			e = append(e, ed)
+		}
+	}
+	if len(e) != 12 {
+		t.Fatalf("octahedron has 12 edges, got %d", len(e))
+	}
+	if !Planar(6, e) {
+		t.Fatal("octahedron must be planar")
+	}
+}
+
+func TestGridPlanar(t *testing.T) {
+	const r, c = 15, 17
+	var e [][2]int32
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				e = append(e, [2]int32{id(i, j), id(i, j+1)})
+			}
+			if i+1 < r {
+				e = append(e, [2]int32{id(i, j), id(i+1, j)})
+			}
+		}
+	}
+	if !Planar(r*c, e) {
+		t.Fatal("grid must be planar")
+	}
+}
+
+func TestTriangulatedGridPlanar(t *testing.T) {
+	const r, c = 12, 12
+	var e [][2]int32
+	id := func(i, j int) int32 { return int32(i*c + j) }
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if j+1 < c {
+				e = append(e, [2]int32{id(i, j), id(i, j+1)})
+			}
+			if i+1 < r {
+				e = append(e, [2]int32{id(i, j), id(i+1, j)})
+			}
+			if i+1 < r && j+1 < c {
+				e = append(e, [2]int32{id(i, j), id(i+1, j+1)})
+			}
+		}
+	}
+	if !Planar(r*c, e) {
+		t.Fatal("triangulated grid must be planar")
+	}
+}
+
+func TestTreesAndCyclesPlanar(t *testing.T) {
+	// Star.
+	var star [][2]int32
+	for i := int32(1); i < 50; i++ {
+		star = append(star, [2]int32{0, i})
+	}
+	if !Planar(50, star) {
+		t.Fatal("star must be planar")
+	}
+	// Cycle.
+	var cyc [][2]int32
+	for i := int32(0); i < 30; i++ {
+		cyc = append(cyc, [2]int32{i, (i + 1) % 30})
+	}
+	if !Planar(30, cyc) {
+		t.Fatal("cycle must be planar")
+	}
+	// Random tree.
+	rng := rand.New(rand.NewSource(3))
+	var tree [][2]int32
+	for v := int32(1); v < 200; v++ {
+		tree = append(tree, [2]int32{int32(rng.Intn(int(v))), v})
+	}
+	if !Planar(200, tree) {
+		t.Fatal("tree must be planar")
+	}
+}
+
+func TestDisconnectedGraphs(t *testing.T) {
+	// Two K4s: planar.
+	e := complete(4)
+	for _, ed := range complete(4) {
+		e = append(e, [2]int32{ed[0] + 4, ed[1] + 4})
+	}
+	if !Planar(8, e) {
+		t.Fatal("two K4s must be planar")
+	}
+	// K5 plus isolated vertices: not planar.
+	if Planar(9, complete(5)) {
+		t.Fatal("K5 + isolated vertices must not be planar")
+	}
+}
+
+func TestK5SubdivisionNotPlanar(t *testing.T) {
+	// Subdivide each K5 edge once: still non-planar (Kuratowski).
+	base := complete(5)
+	next := int32(5)
+	var e [][2]int32
+	for _, ed := range base {
+		e = append(e, [2]int32{ed[0], next}, [2]int32{next, ed[1]})
+		next++
+	}
+	if Planar(int(next), e) {
+		t.Fatal("K5 subdivision must not be planar")
+	}
+}
+
+func TestStackedTriangulationsPlanarAndMaximal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(30)
+		edges := stackedTriangulation(rng, n)
+		if len(edges) != 3*n-6 {
+			return false
+		}
+		if !Planar(n, edges) {
+			return false
+		}
+		// Maximality: adding any absent edge must break planarity.
+		have := make(map[[2]int32]bool, len(edges))
+		for _, ed := range edges {
+			a, b := ed[0], ed[1]
+			if a > b {
+				a, b = b, a
+			}
+			have[[2]int32{a, b}] = true
+		}
+		for a := int32(0); int(a) < n; a++ {
+			for b := a + 1; int(b) < n; b++ {
+				if !have[[2]int32{a, b}] {
+					if Planar(n, append(edges, [2]int32{a, b})) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEulerBoundShortCircuit(t *testing.T) {
+	// 3n-6 + 1 edges must be rejected even without running the test; use a
+	// multigraph-free dense graph (K6 has 15 > 3·6−6 = 12).
+	if Planar(6, complete(6)) {
+		t.Fatal("K6 must not be planar")
+	}
+}
+
+func TestLargeStackedTriangulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 2000
+	edges := stackedTriangulation(rng, n)
+	if !Planar(n, edges) {
+		t.Fatal("large stacked triangulation must be planar")
+	}
+	// Adding one random cross edge must be caught.
+	for tries := 0; tries < 5; tries++ {
+		a, b := int32(rng.Intn(n)), int32(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		dup := false
+		for _, ed := range edges {
+			if (ed[0] == a && ed[1] == b) || (ed[0] == b && ed[1] == a) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if Planar(n, append(edges, [2]int32{a, b})) {
+			t.Fatal("adding an edge to a maximal planar graph must break planarity")
+		}
+		return
+	}
+}

@@ -1,0 +1,378 @@
+// Package tmfg implements the parallel construction of Triangulated
+// Maximally Filtered Graphs (Algorithm 1 of Yu & Shun, ICDE 2023), including
+// the on-the-fly bubble tree construction (Algorithm 2).
+//
+// The algorithm starts from the 4-clique of the vertices with the highest
+// similarity row sums and repeatedly inserts a batch ("prefix") of vertices,
+// each into the triangular face maximizing the gain (the sum of the three
+// new edge weights). prefix=1 reproduces the sequential TMFG exactly;
+// larger prefixes deviate from it but expose more parallelism.
+//
+// For a fixed input the construction is deterministic regardless of the
+// number of threads: ties between equal gains are broken toward smaller
+// vertex and face ids, and batch insertions are applied in sorted order.
+package tmfg
+
+import (
+	"fmt"
+	"math"
+
+	"pfg/internal/bubbletree"
+	"pfg/internal/graph"
+	"pfg/internal/matrix"
+	"pfg/internal/parallel"
+)
+
+// Result is the output of TMFG construction.
+type Result struct {
+	// Graph is the TMFG with similarity edge weights. It has exactly
+	// 3n-6 edges and is planar by construction.
+	Graph *graph.Graph
+	// Edges lists the undirected edges in insertion order (the first six
+	// are the initial 4-clique).
+	Edges [][2]int32
+	// Tree is the bubble tree built during construction (n-3 nodes).
+	Tree *bubbletree.Tree
+	// Initial is the starting 4-clique, ordered by decreasing row sum.
+	Initial [4]int32
+	// Rounds is the number of batch-insertion rounds executed.
+	Rounds int
+}
+
+// EdgeWeightSum returns the total similarity weight captured by the TMFG,
+// the objective that the weighted maximal planar graph problem maximizes.
+func (r *Result) EdgeWeightSum(s *matrix.Sym) float64 {
+	return matrix.EdgeWeightSum(s, r.Edges)
+}
+
+// face is a triangular face of the partially built TMFG.
+type face struct {
+	v      [3]int32
+	bubble int32
+	alive  bool
+	best   int32 // best remaining vertex to insert, -1 when none
+	gain   float64
+}
+
+// candidate is a (face, vertex) insertion candidate with its gain.
+type candidate struct {
+	gain float64
+	vert int32
+	face int32
+}
+
+// candLess orders candidates by decreasing gain, breaking ties toward the
+// smaller vertex id and then the smaller face id, to keep the construction
+// deterministic.
+func candLess(a, b candidate) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.vert != b.vert {
+		return a.vert < b.vert
+	}
+	return a.face < b.face
+}
+
+// Build constructs the TMFG of the n×n similarity matrix s with the given
+// prefix size (batch bound). prefix must be ≥ 1 and n ≥ 4.
+func Build(s *matrix.Sym, prefix int) (*Result, error) {
+	n := s.N
+	if n < 4 {
+		return nil, fmt.Errorf("tmfg: need at least 4 vertices, have %d", n)
+	}
+	if prefix < 1 {
+		return nil, fmt.Errorf("tmfg: prefix must be ≥ 1, got %d", prefix)
+	}
+	b := newBuilder(s, prefix)
+	b.initClique()
+	for len(b.remaining) > 0 {
+		b.round()
+	}
+	g, err := graph.FromEdges(n, b.weightedEdges())
+	if err != nil {
+		return nil, fmt.Errorf("tmfg: internal error building graph: %w", err)
+	}
+	return &Result{
+		Graph:   g,
+		Edges:   b.edges,
+		Tree:    b.tree,
+		Initial: b.initial,
+		Rounds:  b.rounds,
+	}, nil
+}
+
+type builder struct {
+	s      *matrix.Sym
+	prefix int
+
+	faces     []face
+	edges     [][2]int32
+	remaining []int32 // vertices not yet inserted
+	inserted  []bool
+
+	// facesOfBest[v] lists face indices whose current best vertex is (or
+	// recently was) v; entries may be stale and are filtered on use.
+	facesOfBest [][]int32
+
+	tree      *bubbletree.Tree
+	outerFace int32 // face index of the current outer face
+
+	initial [4]int32
+	rounds  int
+
+	// scratch
+	cands []candidate
+}
+
+func newBuilder(s *matrix.Sym, prefix int) *builder {
+	return &builder{
+		s:           s,
+		prefix:      prefix,
+		facesOfBest: make([][]int32, s.N),
+		inserted:    make([]bool, s.N),
+	}
+}
+
+// initClique picks the four vertices with the highest similarity row sums
+// (ties toward smaller ids), adds the 6 clique edges and 4 faces, and seeds
+// the bubble tree and gain table.
+func (b *builder) initClique() {
+	n := b.s.N
+	sums := make([]float64, n)
+	parallel.ForGrain(n, 16, func(i int) { sums[i] = b.s.RowSum(i) })
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	parallel.Sort(order, func(a, c int32) bool {
+		if sums[a] != sums[c] {
+			return sums[a] > sums[c]
+		}
+		return a < c
+	})
+	copy(b.initial[:], order[:4])
+	c := b.initial
+	for i := 0; i < 4; i++ {
+		b.inserted[c[i]] = true
+		for j := i + 1; j < 4; j++ {
+			b.edges = append(b.edges, [2]int32{c[i], c[j]})
+		}
+	}
+	b.remaining = make([]int32, 0, n-4)
+	for _, v := range order[4:] {
+		b.remaining = append(b.remaining, v)
+	}
+	// Keep remaining sorted by id for deterministic scans.
+	parallel.Sort(b.remaining, func(a, c int32) bool { return a < c })
+
+	b.tree = &bubbletree.Tree{
+		Nodes: []bubbletree.Node{{
+			Vertices: sortedQuad(c[0], c[1], c[2], c[3]),
+			Parent:   -1,
+			Sep:      [3]int32{bubbletree.NoVertex, bubbletree.NoVertex, bubbletree.NoVertex},
+		}},
+		Root: 0,
+	}
+	b.faces = []face{
+		{v: [3]int32{c[0], c[1], c[2]}, bubble: 0, alive: true},
+		{v: [3]int32{c[0], c[1], c[3]}, bubble: 0, alive: true},
+		{v: [3]int32{c[0], c[2], c[3]}, bubble: 0, alive: true},
+		{v: [3]int32{c[1], c[2], c[3]}, bubble: 0, alive: true},
+	}
+	b.outerFace = 0 // {v1, v2, v3}, chosen as in Algorithm 1 Line 7
+	for fi := range b.faces {
+		b.recomputeGain(int32(fi))
+	}
+	for fi := range b.faces {
+		b.registerBest(int32(fi))
+	}
+}
+
+// gainOf returns the insertion gain of vertex u into face f.
+func (b *builder) gainOf(f *face, u int32) float64 {
+	row := b.s.Row(int(u))
+	return row[f.v[0]] + row[f.v[1]] + row[f.v[2]]
+}
+
+// recomputeGain scans the remaining vertices to find face fi's best vertex.
+// Safe to call from parallel goroutines (writes only to faces[fi]).
+func (b *builder) recomputeGain(fi int32) {
+	f := &b.faces[fi]
+	f.best = -1
+	f.gain = math.Inf(-1)
+	r0, r1, r2 := int(f.v[0])*b.s.N, int(f.v[1])*b.s.N, int(f.v[2])*b.s.N
+	data := b.s.Data
+	for _, u := range b.remaining {
+		g := data[r0+int(u)] + data[r1+int(u)] + data[r2+int(u)]
+		if g > f.gain || (g == f.gain && u < f.best) {
+			f.best = u
+			f.gain = g
+		}
+	}
+}
+
+// registerBest records fi in the facesOfBest list of its best vertex.
+// Must be called sequentially.
+func (b *builder) registerBest(fi int32) {
+	if best := b.faces[fi].best; best >= 0 {
+		b.facesOfBest[best] = append(b.facesOfBest[best], fi)
+	}
+}
+
+// round executes one batch-insertion round (Lines 9–17 of Algorithm 1).
+func (b *builder) round() {
+	b.rounds++
+	batch := b.selectBatch()
+	if len(batch) == 0 {
+		// Cannot happen while remaining is non-empty: every alive face has
+		// a best vertex whenever remaining vertices exist.
+		panic("tmfg: empty batch with remaining vertices")
+	}
+	// Apply insertions sequentially (O(prefix) pointer updates); all heavy
+	// gain recomputation below is parallel.
+	touched := make([]int32, 0, 4*len(batch))
+	for _, c := range batch {
+		touched = append(touched, b.insert(c.vert, c.face)...)
+	}
+	// Remove the batch from remaining (parallel filter).
+	b.remaining = parallel.Filter(b.remaining, func(v int32) bool { return !b.inserted[v] })
+	// Collect faces needing a new best vertex: the new faces plus alive
+	// faces whose recorded best was just inserted.
+	need := touched
+	for _, c := range batch {
+		for _, fi := range b.facesOfBest[c.vert] {
+			f := &b.faces[fi]
+			if f.alive && f.best == c.vert {
+				need = append(need, fi)
+			}
+		}
+		b.facesOfBest[c.vert] = nil
+	}
+	parallel.ForGrain(len(need), 1, func(i int) { b.recomputeGain(need[i]) })
+	for _, fi := range need {
+		b.registerBest(fi)
+	}
+}
+
+// selectBatch returns up to prefix (vertex, face) insertion pairs: the
+// highest-gain candidate per face, globally sorted by gain, deduplicated so
+// each vertex appears once (keeping its highest-gain pair), truncated to the
+// prefix size (Lines 9–10 of Algorithm 1).
+func (b *builder) selectBatch() []candidate {
+	if b.prefix == 1 {
+		// Parallel maximum instead of a sort (the PREFIX=1 special case).
+		bi := parallel.MaxIndex(len(b.faces), func(i int) float64 {
+			f := &b.faces[i]
+			if !f.alive || f.best < 0 {
+				return math.Inf(-1)
+			}
+			return f.gain
+		})
+		f := &b.faces[bi]
+		if !f.alive || f.best < 0 {
+			panic("tmfg: no candidate face")
+		}
+		// MaxIndex breaks gain ties toward the smaller face id; for parity
+		// with the sorted path, prefer the smaller vertex id first.
+		best := candidate{gain: f.gain, vert: f.best, face: int32(bi)}
+		for i := range b.faces {
+			g := &b.faces[i]
+			if g.alive && g.best >= 0 && g.gain == best.gain {
+				c := candidate{gain: g.gain, vert: g.best, face: int32(i)}
+				if candLess(c, best) {
+					best = c
+				}
+			}
+		}
+		return []candidate{best}
+	}
+	b.cands = b.cands[:0]
+	for i := range b.faces {
+		f := &b.faces[i]
+		if f.alive && f.best >= 0 {
+			b.cands = append(b.cands, candidate{gain: f.gain, vert: f.best, face: int32(i)})
+		}
+	}
+	parallel.Sort(b.cands, candLess)
+	limit := b.prefix
+	if limit > len(b.cands) {
+		limit = len(b.cands)
+	}
+	top := b.cands[:limit]
+	// Deduplicate by vertex: the sorted order guarantees the first
+	// occurrence has the maximum gain for that vertex.
+	out := make([]candidate, 0, limit)
+	taken := make(map[int32]bool, limit)
+	for _, c := range top {
+		if !taken[c.vert] {
+			taken[c.vert] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// insert adds vertex v into face fi: three new edges, three new faces, one
+// new bubble (Algorithm 2). It returns the indices of the new faces.
+func (b *builder) insert(v, fi int32) []int32 {
+	f := &b.faces[fi]
+	x, y, z := f.v[0], f.v[1], f.v[2]
+	b.inserted[v] = true
+	b.edges = append(b.edges, [2]int32{v, x}, [2]int32{v, y}, [2]int32{v, z})
+	f.alive = false
+
+	// New bubble b* = {v, x, y, z}.
+	newBubble := int32(len(b.tree.Nodes))
+	node := bubbletree.Node{
+		Vertices: sortedQuad(v, x, y, z),
+		Sep:      f.v,
+		Parent:   -1,
+	}
+	old := f.bubble
+	if fi == b.outerFace {
+		// Inserting into the outer face: b* becomes the parent of the old
+		// root, and the outer face moves to {v, x, y}.
+		node.Sep = [3]int32{bubbletree.NoVertex, bubbletree.NoVertex, bubbletree.NoVertex}
+		b.tree.Nodes = append(b.tree.Nodes, node)
+		oldRoot := b.tree.Root
+		b.tree.Nodes[oldRoot].Parent = newBubble
+		b.tree.Nodes[oldRoot].Sep = f.v
+		b.tree.Nodes[newBubble].Children = append(b.tree.Nodes[newBubble].Children, oldRoot)
+		b.tree.Root = newBubble
+	} else {
+		node.Parent = old
+		b.tree.Nodes = append(b.tree.Nodes, node)
+		b.tree.Nodes[old].Children = append(b.tree.Nodes[old].Children, newBubble)
+	}
+
+	base := int32(len(b.faces))
+	b.faces = append(b.faces,
+		face{v: [3]int32{v, x, y}, bubble: newBubble, alive: true},
+		face{v: [3]int32{v, y, z}, bubble: newBubble, alive: true},
+		face{v: [3]int32{v, x, z}, bubble: newBubble, alive: true},
+	)
+	if fi == b.outerFace {
+		b.outerFace = base // {v, x, y}
+	}
+	return []int32{base, base + 1, base + 2}
+}
+
+// weightedEdges attaches similarity weights to the edge list.
+func (b *builder) weightedEdges() []graph.Edge {
+	out := make([]graph.Edge, len(b.edges))
+	for i, e := range b.edges {
+		out[i] = graph.Edge{U: e[0], V: e[1], W: b.s.At(int(e[0]), int(e[1]))}
+	}
+	return out
+}
+
+func sortedQuad(a, b, c, d int32) []int32 {
+	q := []int32{a, b, c, d}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && q[j] < q[j-1]; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+	return q
+}

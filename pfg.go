@@ -1,0 +1,155 @@
+package pfg
+
+import (
+	"fmt"
+
+	"pfg/internal/core"
+	"pfg/internal/dendro"
+	"pfg/internal/hac"
+	"pfg/internal/matrix"
+	"pfg/internal/metrics"
+	"pfg/internal/tmfg"
+)
+
+// Matrix is a dense symmetric matrix (similarities or dissimilarities).
+type Matrix = matrix.Sym
+
+// Dendrogram is a hierarchical clustering tree; leaves are the input
+// objects and Cut(k) produces flat clusterings.
+type Dendrogram = dendro.Dendrogram
+
+// Method selects the clustering algorithm for Cluster.
+type Method int
+
+const (
+	// TMFGDBHT is the paper's method: parallel TMFG + parallel DBHT.
+	TMFGDBHT Method = iota
+	// PMFGDBHT is the slower PMFG-based baseline.
+	PMFGDBHT
+	// CompleteLinkage is complete-linkage HAC on the dissimilarity matrix.
+	CompleteLinkage
+	// AverageLinkage is average-linkage HAC on the dissimilarity matrix.
+	AverageLinkage
+)
+
+func (m Method) String() string {
+	switch m {
+	case TMFGDBHT:
+		return "tmfg-dbht"
+	case PMFGDBHT:
+		return "pmfg-dbht"
+	case CompleteLinkage:
+		return "complete-linkage"
+	case AverageLinkage:
+		return "average-linkage"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures Cluster.
+type Options struct {
+	// Method selects the algorithm (default TMFGDBHT).
+	Method Method
+	// Prefix is the TMFG batch size (default 10, the paper's sweet spot;
+	// 1 reproduces the sequential TMFG exactly).
+	Prefix int
+}
+
+// Result is a hierarchical clustering outcome.
+type Result struct {
+	// Dendrogram is the full merge tree.
+	Dendrogram *Dendrogram
+	// EdgeWeightSum is the similarity captured by the filtered graph
+	// (0 for non-graph methods).
+	EdgeWeightSum float64
+	// Groups is the number of DBHT converging-bubble groups (0 for HAC).
+	Groups int
+}
+
+// Cut returns flat cluster labels in [0, k).
+func (r *Result) Cut(k int) ([]int, error) { return r.Dendrogram.Cut(k) }
+
+// Newick serializes the dendrogram in Newick format, with optional leaf
+// names (nil for L0, L1, ...).
+func (r *Result) Newick(names []string) (string, error) { return r.Dendrogram.Newick(names) }
+
+// CopheneticCorrelation measures how faithfully the dendrogram's merge
+// heights reproduce the given dissimilarities (1 = perfect). Note that DBHT
+// heights are ordinal by design, so this is most meaningful for the HAC
+// methods.
+func (r *Result) CopheneticCorrelation(dis *Matrix) (float64, error) {
+	return r.Dendrogram.CopheneticCorrelation(dis.Data)
+}
+
+// Pearson computes the Pearson correlation matrix of a time-series
+// collection (one row per series, equal lengths).
+func Pearson(series [][]float64) (*Matrix, error) { return matrix.Pearson(series) }
+
+// Dissimilarity converts correlations into the metric dissimilarity
+// d = sqrt(2(1−p)).
+func Dissimilarity(corr *Matrix) *Matrix { return matrix.Dissimilarity(corr) }
+
+// Cluster computes a hierarchical clustering of raw time series: Pearson
+// correlation → filtered graph (or HAC) → dendrogram.
+func Cluster(series [][]float64, opts Options) (*Result, error) {
+	sim, dis, err := core.Correlate(series)
+	if err != nil {
+		return nil, err
+	}
+	return ClusterMatrix(sim, dis, opts)
+}
+
+// ClusterMatrix clusters from a precomputed similarity matrix and optional
+// dissimilarity matrix (pass nil to derive it as sqrt(2(1−s))).
+func ClusterMatrix(sim, dis *Matrix, opts Options) (*Result, error) {
+	if opts.Prefix == 0 {
+		opts.Prefix = 10
+	}
+	switch opts.Method {
+	case TMFGDBHT:
+		r, err := core.TMFGDBHT(sim, dis, opts.Prefix)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
+	case PMFGDBHT:
+		r, err := core.PMFGDBHT(sim, dis)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
+	case CompleteLinkage, AverageLinkage:
+		if dis == nil {
+			dis = matrix.Dissimilarity(sim)
+		}
+		linkage := hac.Complete
+		if opts.Method == AverageLinkage {
+			linkage = hac.Average
+		}
+		r, err := core.HAC(dis, linkage)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Dendrogram: r.Dendrogram}, nil
+	default:
+		return nil, fmt.Errorf("pfg: unknown method %v", opts.Method)
+	}
+}
+
+// TMFG builds just the filtered graph from a similarity matrix with the
+// given prefix, returning the undirected edge list (3n−6 edges) and the
+// captured edge weight.
+func TMFG(sim *Matrix, prefix int) (edges [][2]int32, weight float64, err error) {
+	r, err := tmfg.Build(sim, prefix)
+	if err != nil {
+		return nil, 0, err
+	}
+	return r.Edges, r.EdgeWeightSum(sim), nil
+}
+
+// ARI computes the Adjusted Rand Index between two flat clusterings.
+func ARI(a, b []int) (float64, error) { return metrics.ARI(a, b) }
+
+// AMI computes the Adjusted Mutual Information between two flat clusterings.
+func AMI(a, b []int) (float64, error) { return metrics.AMI(a, b) }

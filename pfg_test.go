@@ -1,0 +1,119 @@
+package pfg
+
+import (
+	"testing"
+
+	"pfg/internal/tsgen"
+)
+
+func TestClusterEndToEnd(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 120, 96, 4, 0.3, 14)
+	res, err := Cluster(ds.Series, Options{Prefix: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := res.Cut(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari, err := ARI(ds.Labels, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ari < 0.8 {
+		t.Fatalf("API pipeline ARI %.3f < 0.8", ari)
+	}
+	if res.EdgeWeightSum <= 0 || res.Groups < 1 {
+		t.Fatalf("missing result fields: %+v", res)
+	}
+}
+
+func TestClusterAllMethods(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 60, 64, 3, 0.3, 8)
+	for _, m := range []Method{TMFGDBHT, PMFGDBHT, CompleteLinkage, AverageLinkage} {
+		res, err := Cluster(ds.Series, Options{Method: m, Prefix: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		labels, err := res.Cut(3)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if len(labels) != 60 {
+			t.Fatalf("%v: %d labels", m, len(labels))
+		}
+	}
+}
+
+func TestClusterMatrixDefaultDissimilarity(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 50, 64, 2, 0.3, 9)
+	sim, err := Pearson(ds.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ClusterMatrix(sim, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Cut(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTMFGFacade(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 40, 64, 2, 0.3, 10)
+	sim, err := Pearson(ds.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, weight, err := TMFG(sim, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 3*40-6 {
+		t.Fatalf("%d edges", len(edges))
+	}
+	if weight <= 0 {
+		t.Fatalf("weight %v", weight)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if TMFGDBHT.String() != "tmfg-dbht" || Method(99).String() == "" {
+		t.Fatal("bad method names")
+	}
+}
+
+func TestUnknownMethodRejected(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 20, 32, 2, 0.3, 11)
+	if _, err := Cluster(ds.Series, Options{Method: Method(99)}); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestResultNewickAndCophenetic(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 30, 48, 2, 0.3, 12)
+	sim, err := Pearson(ds.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := Dissimilarity(sim)
+	res, err := ClusterMatrix(sim, dis, Options{Method: CompleteLinkage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := res.Newick(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nw) == 0 || nw[len(nw)-1] != ';' {
+		t.Fatalf("bad newick output %q", nw)
+	}
+	cc, err := res.CopheneticCorrelation(dis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cc <= 0 || cc > 1 {
+		t.Fatalf("cophenetic correlation %v out of range", cc)
+	}
+}
