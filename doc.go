@@ -23,6 +23,9 @@
 //	if err != nil { ... }
 //	labels, err := res.Cut(8) // 8 clusters
 //
-// See the examples/ directory for runnable programs and DESIGN.md for the
-// system inventory and the per-figure experiment index.
+// For cancellation and per-call concurrency budgets, use ClusterContext /
+// ClusterMatrixContext with Options.Workers.
+//
+// See the examples/ directory for runnable programs and README.md for the
+// architecture overview and the context-aware API.
 package pfg

@@ -1,0 +1,3 @@
+module pfg
+
+go 1.24

@@ -13,11 +13,12 @@
 package bubbletree
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"pfg/internal/exec"
 	"pfg/internal/graph"
-	"pfg/internal/parallel"
 )
 
 // NoVertex marks an unused vertex slot (e.g. the root's separating triangle).
@@ -148,19 +149,29 @@ func (t *Tree) SubtreeVertices(b int32) []int32 {
 // SeparatingTriangles returns all triangles of g whose removal disconnects
 // g, in canonical (sorted-corner) order.
 func SeparatingTriangles(g *graph.Graph) [][3]int32 {
+	out, _ := SeparatingTrianglesCtx(context.Background(), exec.Default(), g)
+	return out
+}
+
+// SeparatingTrianglesCtx is SeparatingTriangles on an explicit pool with
+// cooperative cancellation (the per-triangle separation tests dominate).
+func SeparatingTrianglesCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) ([][3]int32, error) {
 	tris := g.Triangles()
 	sep := make([]bool, len(tris))
-	parallel.ForGrain(len(tris), 1, func(i int) {
+	err := pool.ForGrain(ctx, len(tris), 1, func(i int) {
 		tr := tris[i]
 		sep[i] = len(g.ComponentsWithout(tr[:])) > 1
 	})
+	if err != nil {
+		return nil, err
+	}
 	var out [][3]int32
 	for i, tr := range tris {
 		if sep[i] {
 			out = append(out, tr)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // BuildGeneric constructs the bubble tree of a maximal planar graph using
@@ -169,10 +180,19 @@ func SeparatingTriangles(g *graph.Graph) [][3]int32 {
 // the bubble with the smallest vertex set start so that the interior
 // invariant holds (any rooting of a bubble tree satisfies it).
 func BuildGeneric(g *graph.Graph) (*Tree, error) {
+	return BuildGenericCtx(context.Background(), exec.Default(), g)
+}
+
+// BuildGenericCtx is BuildGeneric on an explicit pool with cooperative
+// cancellation, checked during triangle testing and between recursive splits.
+func BuildGenericCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) (*Tree, error) {
 	if g.N < 3 {
 		return nil, fmt.Errorf("bubbletree: graph too small (n=%d)", g.N)
 	}
-	sepTris := SeparatingTriangles(g)
+	sepTris, err := SeparatingTrianglesCtx(ctx, pool, g)
+	if err != nil {
+		return nil, err
+	}
 	inSep := make(map[[3]int32]bool, len(sepTris))
 	for _, tr := range sepTris {
 		inSep[tr] = true
@@ -186,9 +206,18 @@ func BuildGeneric(g *graph.Graph) (*Tree, error) {
 		tris  [][3]int32 // separating triangles of g contained in this bubble
 	}
 	var bubbles []bubble
-	// split recursively decomposes the induced subgraph on verts.
+	// split recursively decomposes the induced subgraph on verts, bailing out
+	// once the context is cancelled.
+	var splitErr error
 	var split func(verts []int32)
 	split = func(verts []int32) {
+		if splitErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			splitErr = err
+			return
+		}
 		inPiece := make(map[int32]bool, len(verts))
 		for _, v := range verts {
 			inPiece[v] = true
@@ -221,6 +250,9 @@ func BuildGeneric(g *graph.Graph) (*Tree, error) {
 		bubbles = append(bubbles, b)
 	}
 	split(all)
+	if splitErr != nil {
+		return nil, splitErr
+	}
 	// Connect bubbles sharing each separating triangle.
 	byTri := make(map[[3]int32][]int32)
 	for i, b := range bubbles {

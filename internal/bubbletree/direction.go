@@ -1,10 +1,11 @@
 package bubbletree
 
 import (
+	"context"
 	"sort"
 
+	"pfg/internal/exec"
 	"pfg/internal/graph"
-	"pfg/internal/parallel"
 )
 
 // Directed augments a bubble tree with edge directions computed by
@@ -26,10 +27,18 @@ type Directed struct {
 	Converging []int32
 }
 
-// DirectEdges runs the recursive interior-strength computation on the tree,
-// using g (the filtered graph) for edge weights. It is O(Σ|bubble|) work:
-// linear for TMFG trees. Children are processed with nested parallelism.
+// DirectEdges runs the recursive interior-strength computation on the shared
+// default pool, without cancellation.
 func DirectEdges(t *Tree, g *graph.Graph) *Directed {
+	d, _ := DirectEdgesCtx(context.Background(), exec.Default(), t, g)
+	return d
+}
+
+// DirectEdgesCtx runs the recursive interior-strength computation on the
+// tree, using g (the filtered graph) for edge weights. It is O(Σ|bubble|)
+// work: linear for TMFG trees. Children are processed with nested
+// parallelism on the pool; cancellation is checked at every tree node.
+func DirectEdgesCtx(ctx context.Context, pool *exec.Pool, t *Tree, g *graph.Graph) (*Directed, error) {
 	d := &Directed{
 		Tree:    t,
 		DirDown: make([]bool, len(t.Nodes)),
@@ -38,8 +47,13 @@ func DirectEdges(t *Tree, g *graph.Graph) *Directed {
 		OutDeg:  make([]int32, len(t.Nodes)),
 	}
 	wdeg := make([]float64, g.N)
-	parallel.For(g.N, func(v int) { wdeg[v] = g.WeightedDegree(int32(v)) })
-	d.visit(t.Root, g, wdeg)
+	if err := pool.For(ctx, g.N, func(v int) { wdeg[v] = g.WeightedDegree(int32(v)) }); err != nil {
+		return nil, err
+	}
+	d.visit(ctx, pool, t.Root, g, wdeg)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Out-degrees: each non-root edge contributes one out-edge.
 	for b := range t.Nodes {
 		if int32(b) == t.Root {
@@ -56,25 +70,30 @@ func DirectEdges(t *Tree, g *graph.Graph) *Directed {
 			d.Converging = append(d.Converging, int32(b))
 		}
 	}
-	return d
+	return d, nil
 }
 
 // visit computes r, the per-corner interior weight sums for node b's
-// separating triangle, recursing over children in parallel.
-func (d *Directed) visit(b int32, g *graph.Graph, wdeg []float64) [3]float64 {
+// separating triangle, recursing over children in parallel. Subtrees are
+// skipped once the context is cancelled (the partial result is discarded by
+// the caller).
+func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph.Graph, wdeg []float64) [3]float64 {
+	if ctx.Err() != nil {
+		return [3]float64{}
+	}
 	node := &d.Tree.Nodes[b]
 	childRes := make([][3]float64, len(node.Children))
 	switch len(node.Children) {
 	case 0:
 	case 1:
-		childRes[0] = d.visit(node.Children[0], g, wdeg)
+		childRes[0] = d.visit(ctx, pool, node.Children[0], g, wdeg)
 	default:
 		fs := make([]func(), len(node.Children))
 		for i := range node.Children {
 			i := i
-			fs[i] = func() { childRes[i] = d.visit(node.Children[i], g, wdeg) }
+			fs[i] = func() { childRes[i] = d.visit(ctx, pool, node.Children[i], g, wdeg) }
 		}
-		parallel.Do(fs...)
+		pool.Do(ctx, fs...)
 	}
 	if node.Parent < 0 {
 		return [3]float64{}
@@ -136,15 +155,22 @@ func (d *Directed) outNeighbors(b int32) []int32 {
 
 // ReachableConverging returns, for every bubble node, the ascending list of
 // converging-bubble node ids reachable from it by following directed edges
-// (Lines 5–6 of Algorithm 4). Each BFS runs in parallel.
+// (Lines 5–6 of Algorithm 4), on the shared default pool.
 func (d *Directed) ReachableConverging() [][]int32 {
+	out, _ := d.ReachableConvergingCtx(context.Background(), exec.Default())
+	return out
+}
+
+// ReachableConvergingCtx is ReachableConverging on an explicit pool with
+// cooperative cancellation; each per-node BFS runs as a pool chunk.
+func (d *Directed) ReachableConvergingCtx(ctx context.Context, pool *exec.Pool) ([][]int32, error) {
 	n := len(d.Tree.Nodes)
 	out := make([][]int32, n)
 	isConv := make([]bool, n)
 	for _, c := range d.Converging {
 		isConv[c] = true
 	}
-	parallel.ForGrain(n, 1, func(start int) {
+	err := pool.ForGrain(ctx, n, 1, func(start int) {
 		visited := map[int32]bool{int32(start): true}
 		queue := []int32{int32(start)}
 		var reach []int32
@@ -164,5 +190,8 @@ func (d *Directed) ReachableConverging() [][]int32 {
 		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
 		out[start] = reach
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -5,12 +5,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"pfg/internal/bubbletree"
 	"pfg/internal/dbht"
 	"pfg/internal/dendro"
+	"pfg/internal/exec"
 	"pfg/internal/hac"
 	"pfg/internal/kmeans"
 	"pfg/internal/matrix"
@@ -50,18 +52,29 @@ type Result struct {
 // TMFGDBHT runs the paper's pipeline on a similarity matrix: TMFG with the
 // given prefix, then DBHT. dis may be nil, in which case √(2(1−s)) is used.
 func TMFGDBHT(sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
+	return TMFGDBHTCtx(context.Background(), exec.Default(), sim, dis, prefix)
+}
+
+// TMFGDBHTCtx is TMFGDBHT on an explicit pool: every parallel stage (TMFG
+// rounds, APSP, DBHT assignment, hierarchy) runs within the pool's worker
+// budget and aborts with ctx.Err() once ctx is cancelled.
+func TMFGDBHTCtx(ctx context.Context, pool *exec.Pool, sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
 	start := time.Now()
 	var bd Breakdown
 	if dis == nil {
-		dis = matrix.Dissimilarity(sim)
+		var err error
+		dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+		if err != nil {
+			return nil, err
+		}
 	}
 	t0 := time.Now()
-	tm, err := tmfg.Build(sim, prefix)
+	tm, err := tmfg.BuildCtx(ctx, pool, sim, prefix)
 	if err != nil {
 		return nil, err
 	}
 	bd.Graph = time.Since(t0)
-	res, err := dbht.Build(tm.Graph, tm.Tree, dis)
+	res, err := dbht.BuildCtx(ctx, pool, tm.Graph, tm.Tree, dis)
 	if err != nil {
 		return nil, err
 	}
@@ -82,24 +95,34 @@ func TMFGDBHT(sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
 // PMFGDBHT runs the baseline pipeline: sequential PMFG, the original
 // (generic) bubble tree construction, then DBHT.
 func PMFGDBHT(sim *matrix.Sym, dis *matrix.Sym) (*Result, error) {
+	return PMFGDBHTCtx(context.Background(), exec.Default(), sim, dis)
+}
+
+// PMFGDBHTCtx is PMFGDBHT on an explicit pool with cooperative cancellation
+// through every stage (PMFG planarity tests, bubble tree, DBHT).
+func PMFGDBHTCtx(ctx context.Context, pool *exec.Pool, sim *matrix.Sym, dis *matrix.Sym) (*Result, error) {
 	start := time.Now()
 	var bd Breakdown
 	if dis == nil {
-		dis = matrix.Dissimilarity(sim)
+		var err error
+		dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+		if err != nil {
+			return nil, err
+		}
 	}
 	t0 := time.Now()
-	pm, err := pmfg.Build(sim)
+	pm, err := pmfg.BuildCtx(ctx, pool, sim)
 	if err != nil {
 		return nil, err
 	}
 	bd.Graph = time.Since(t0)
 	t0 = time.Now()
-	tree, err := bubbletree.BuildGeneric(pm.Graph)
+	tree, err := bubbletree.BuildGenericCtx(ctx, pool, pm.Graph)
 	if err != nil {
 		return nil, err
 	}
 	genericTree := time.Since(t0)
-	res, err := dbht.Build(pm.Graph, tree, dis)
+	res, err := dbht.BuildCtx(ctx, pool, pm.Graph, tree, dis)
 	if err != nil {
 		return nil, err
 	}
@@ -120,8 +143,14 @@ func PMFGDBHT(sim *matrix.Sym, dis *matrix.Sym) (*Result, error) {
 // HAC runs complete- or average-linkage clustering on a dissimilarity
 // matrix (the COMP and AVG baselines).
 func HAC(dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
+	return HACCtx(context.Background(), exec.Default(), dis, linkage)
+}
+
+// HACCtx is HAC on an explicit pool with cooperative cancellation, checked
+// once per NN-chain merge.
+func HACCtx(ctx context.Context, pool *exec.Pool, dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
 	start := time.Now()
-	d, err := hac.RunMatrix(dis.N, append([]float64{}, dis.Data...), linkage)
+	d, err := hac.RunMatrixCtx(ctx, pool, dis.N, append([]float64{}, dis.Data...), linkage)
 	if err != nil {
 		return nil, err
 	}
@@ -134,11 +163,21 @@ func HAC(dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
 // Correlate computes the similarity (Pearson) and dissimilarity matrices of
 // a time-series collection.
 func Correlate(series [][]float64) (sim, dis *matrix.Sym, err error) {
-	sim, err = matrix.Pearson(series)
+	return CorrelateCtx(context.Background(), exec.Default(), series)
+}
+
+// CorrelateCtx is Correlate on an explicit pool with cooperative
+// cancellation at row-block boundaries.
+func CorrelateCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (sim, dis *matrix.Sym, err error) {
+	sim, err = matrix.PearsonCtx(ctx, pool, series)
 	if err != nil {
 		return nil, nil, err
 	}
-	return sim, matrix.Dissimilarity(sim), nil
+	dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sim, dis, nil
 }
 
 // CutLabels cuts a result's dendrogram into k clusters.
@@ -152,7 +191,12 @@ func (r *Result) CutLabels(k int) ([]int, error) {
 // KMeans clusters raw series with k-means (the K-MEANS baseline; the
 // scalable k-means|| seeding is used, as in the paper's comparison).
 func KMeans(series [][]float64, k int, seed int64) ([]int, error) {
-	res, err := kmeans.Run(series, kmeans.Options{K: k, Seed: seed, Scalable: true})
+	return KMeansCtx(context.Background(), exec.Default(), series, k, seed)
+}
+
+// KMeansCtx is KMeans on an explicit pool with cooperative cancellation.
+func KMeansCtx(ctx context.Context, pool *exec.Pool, series [][]float64, k int, seed int64) ([]int, error) {
+	res, err := kmeans.RunCtx(ctx, pool, series, kmeans.Options{K: k, Seed: seed, Scalable: true})
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +206,13 @@ func KMeans(series [][]float64, k int, seed int64) ([]int, error) {
 // KMeansSpectral clusters series with a spectral embedding onto k components
 // using β nearest neighbors, then k-means (the K-MEANS-S baseline).
 func KMeansSpectral(series [][]float64, k, beta int, seed int64) ([]int, error) {
-	emb, err := spectral.Embed(series, spectral.Options{
+	return KMeansSpectralCtx(context.Background(), exec.Default(), series, k, beta, seed)
+}
+
+// KMeansSpectralCtx is KMeansSpectral on an explicit pool with cooperative
+// cancellation through both the embedding and the k-means stages.
+func KMeansSpectralCtx(ctx context.Context, pool *exec.Pool, series [][]float64, k, beta int, seed int64) ([]int, error) {
+	emb, err := spectral.EmbedCtx(ctx, pool, series, spectral.Options{
 		Neighbors:  beta,
 		Components: k,
 		Seed:       seed,
@@ -170,7 +220,7 @@ func KMeansSpectral(series [][]float64, k, beta int, seed int64) ([]int, error) 
 	if err != nil {
 		return nil, err
 	}
-	res, err := kmeans.Run(emb, kmeans.Options{K: k, Seed: seed})
+	res, err := kmeans.RunCtx(ctx, pool, emb, kmeans.Options{K: k, Seed: seed})
 	if err != nil {
 		return nil, err
 	}

@@ -15,6 +15,7 @@
 package dbht
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -22,9 +23,9 @@ import (
 
 	"pfg/internal/bubbletree"
 	"pfg/internal/dendro"
+	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/matrix"
-	"pfg/internal/parallel"
 )
 
 // Timings records the per-stage wall-clock breakdown (Figure 5's stages:
@@ -62,15 +63,31 @@ type Options struct {
 	PaperAssignment bool
 }
 
-// Build runs DBHT with default options. g is the filtered graph weighted by
-// similarity, tree its bubble tree, and dis the full dissimilarity matrix
-// used for shortest paths. dis must have the same vertex count as g.
+// Build runs DBHT with default options on the shared default pool. g is the
+// filtered graph weighted by similarity, tree its bubble tree, and dis the
+// full dissimilarity matrix used for shortest paths. dis must have the same
+// vertex count as g.
 func Build(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym) (*Result, error) {
-	return BuildWithOptions(g, tree, dis, Options{})
+	return BuildWithOptionsCtx(context.Background(), exec.Default(), g, tree, dis, Options{})
 }
 
-// BuildWithOptions runs DBHT with explicit variant options.
+// BuildCtx runs DBHT with default options on an explicit pool, honouring
+// cancellation between and within the pipeline stages.
+func BuildCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym) (*Result, error) {
+	return BuildWithOptionsCtx(ctx, pool, g, tree, dis, Options{})
+}
+
+// BuildWithOptions runs DBHT with explicit variant options on the shared
+// default pool.
 func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, opts Options) (*Result, error) {
+	return BuildWithOptionsCtx(context.Background(), exec.Default(), g, tree, dis, opts)
+}
+
+// BuildWithOptionsCtx runs DBHT with explicit variant options on an explicit
+// pool. Each stage (direction, APSP, assignment, hierarchy) runs its
+// parallel loops on the pool and aborts with ctx.Err() once the context is
+// cancelled.
+func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, opts Options) (*Result, error) {
 	n := g.N
 	if dis.N != n {
 		return nil, fmt.Errorf("dbht: dissimilarity matrix is %d×%d, graph has %d vertices", dis.N, dis.N, n)
@@ -82,7 +99,10 @@ func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, op
 
 	// Direction (Algorithm 3).
 	t0 := time.Now()
-	dir := bubbletree.DirectEdges(tree, g)
+	dir, err := bubbletree.DirectEdgesCtx(ctx, pool, tree, g)
+	if err != nil {
+		return nil, err
+	}
 	res.Directed = dir
 	res.Timings.Direction = time.Since(t0)
 
@@ -93,12 +113,15 @@ func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, op
 	if err != nil {
 		return nil, err
 	}
-	apsp := dg.AllPairsShortestPaths()
+	apsp, err := dg.AllPairsShortestPathsCtx(ctx, pool)
+	if err != nil {
+		return nil, err
+	}
 	res.Timings.APSP = time.Since(t0)
 
 	// Vertex assignments.
 	t0 = time.Now()
-	group, bubble, groups, err := assign(g, tree, dir, apsp, opts)
+	group, bubble, groups, err := assign(ctx, pool, g, tree, dir, apsp, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -107,7 +130,7 @@ func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, op
 
 	// Hierarchy.
 	t0 = time.Now()
-	dnd, err := buildHierarchy(n, group, bubble, groups, apsp)
+	dnd, err := buildHierarchy(ctx, pool, n, group, bubble, groups, apsp)
 	if err != nil {
 		return nil, err
 	}
@@ -127,7 +150,7 @@ func dissimilarityGraph(g *graph.Graph, dis *matrix.Sym) (*graph.Graph, error) {
 
 // assign computes the group (converging bubble) and bubble assignment of
 // every vertex (Lines 2–23 of Algorithm 4).
-func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, apsp *graph.APSP, opts Options) (group, bubble []int32, groups []int32, err error) {
+func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, apsp *graph.APSP, opts Options) (group, bubble []int32, groups []int32, err error) {
 	n := g.N
 	nb := tree.NumNodes()
 	vertexBubbles := tree.VertexBubbles(n)
@@ -158,7 +181,7 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 	for v := range group {
 		group[v] = -1
 	}
-	parallel.ForGrain(n, 64, func(vi int) {
+	err = pool.ForGrain(ctx, n, 64, func(vi int) {
 		v := int32(vi)
 		best := int32(-1)
 		bestChi := math.Inf(-1)
@@ -172,6 +195,9 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 		}
 		group[v] = best
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 
 	// V⁰_b: vertices assigned per converging bubble so far.
 	v0 := make(map[int32][]int32)
@@ -182,12 +208,15 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 	}
 
 	// Reachability from each bubble to converging bubbles (Lines 5–6).
-	reach := dir.ReachableConverging()
+	reach, err := dir.ReachableConvergingCtx(ctx, pool)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Second pass: unassigned vertices minimize the mean shortest-path
 	// distance L̄(v,b) over reachable converging bubbles with non-empty V⁰.
 	failed := make([]bool, n)
-	parallel.ForGrain(n, 16, func(vi int) {
+	err = pool.ForGrain(ctx, n, 16, func(vi int) {
 		v := int32(vi)
 		if group[v] >= 0 {
 			return
@@ -231,6 +260,9 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 		}
 		group[v] = best
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	for v, f := range failed {
 		if f {
 			return nil, nil, nil, fmt.Errorf("dbht: vertex %d could not be assigned to a group", v)
@@ -241,7 +273,7 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 	// Following the reference implementation (and the paper's footnote),
 	// every vertex is (re)assigned, including converging-bubble members.
 	bubbleWeight := make([]float64, nb)
-	parallel.ForGrain(nb, 32, func(bi int) {
+	err = pool.ForGrain(ctx, nb, 32, func(bi int) {
 		node := &tree.Nodes[bi]
 		s := 0.0
 		for i, u := range node.Vertices {
@@ -253,8 +285,11 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 		}
 		bubbleWeight[bi] = s
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	bubble = make([]int32, n)
-	parallel.ForGrain(n, 64, func(vi int) {
+	err = pool.ForGrain(ctx, n, 64, func(vi int) {
 		v := int32(vi)
 		if opts.PaperAssignment {
 			// Footnote-2 textual variant: converging-bubble members stay in
@@ -289,6 +324,9 @@ func assign(g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, aps
 		}
 		bubble[v] = best
 	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
 
 	// Distinct groups, ascending.
 	seen := map[int32]bool{}

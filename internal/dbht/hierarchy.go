@@ -1,14 +1,15 @@
 package dbht
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"pfg/internal/dendro"
+	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/hac"
-	"pfg/internal/parallel"
 )
 
 // mergeKind labels where a dendrogram merge was created (Lines 28, 30, 31
@@ -36,8 +37,9 @@ type localResult struct {
 }
 
 // buildHierarchy implements Lines 24–33 of Algorithm 4 plus the height
-// scheme of the Aste reference implementation.
-func buildHierarchy(n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
+// scheme of the Aste reference implementation. The per-subgroup and
+// per-group linkage runs nest on the same pool.
+func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
 	// Partition vertices into subgroups keyed by (group, bubble).
 	type sgKey struct{ g, b int32 }
 	subgroups := map[sgKey][]int32{}
@@ -88,15 +90,18 @@ func buildHierarchy(n int, group, bubble []int32, groups []int32, apsp *graph.AP
 		}
 	}
 	jobErrs := make([]error, len(jobs))
-	parallel.ForGrain(len(jobs), 1, func(i int) {
+	err := pool.ForGrain(ctx, len(jobs), 1, func(i int) {
 		j := jobs[i]
-		d, err := hac.Run(len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
+		d, err := hac.RunCtx(ctx, pool, len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
 		if err != nil {
 			jobErrs[i] = err
 			return
 		}
 		j.res = localResult{dnd: d, items: j.verts}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, err := range jobErrs {
 		if err != nil {
 			return nil, err
@@ -126,15 +131,18 @@ func buildHierarchy(n int, group, bubble []int32, groups []int32, apsp *graph.AP
 		gjobs = append(gjobs, j)
 	}
 	gjobErrs := make([]error, len(gjobs))
-	parallel.ForGrain(len(gjobs), 1, func(i int) {
+	err = pool.ForGrain(ctx, len(gjobs), 1, func(i int) {
 		j := gjobs[i]
-		d, err := hac.Run(len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
+		d, err := hac.RunCtx(ctx, pool, len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
 		if err != nil {
 			gjobErrs[i] = err
 			return
 		}
 		j.res = localResult{dnd: d, items: j.roots}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for _, err := range gjobErrs {
 		if err != nil {
 			return nil, err
@@ -157,7 +165,7 @@ func buildHierarchy(n int, group, bubble []int32, groups []int32, apsp *graph.AP
 		topSets = append(topSets, vs)
 		topRoots = append(topRoots, groupRoot[gid])
 	}
-	dTop, err := hac.Run(len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
+	dTop, err := hac.RunCtx(ctx, pool, len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,68 @@
+package exec
+
+import "context"
+
+// ScanExclusive computes the exclusive prefix sums of s in place and returns
+// the total: out[i] = s[0]+…+s[i-1]. Large inputs use the classic two-pass
+// block-scan (per-block sums, sequential scan of the block sums, then
+// per-block local scans in parallel). On cancellation s may be partially
+// scanned and ctx.Err() is returned.
+func (p *Pool) ScanExclusive(ctx context.Context, s []int64) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	n := len(s)
+	if n == 0 {
+		return 0, nil
+	}
+	if p.workers == 1 || n < 4*minGrain {
+		var acc int64
+		for i := 0; i < n; i++ {
+			v := s[i]
+			s[i] = acc
+			acc += v
+		}
+		return acc, nil
+	}
+	sums := make([]int64, p.workers)
+	nb := p.runBlocks(ctx, n, func(w, lo, hi int) {
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += s[i]
+		}
+		sums[w] = acc
+	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var total int64
+	for b := 0; b < nb; b++ {
+		v := sums[b]
+		sums[b] = total
+		total += v
+	}
+	p.runBlocks(ctx, n, func(w, lo, hi int) {
+		acc := sums[w]
+		for i := lo; i < hi; i++ {
+			v := s[i]
+			s[i] = acc
+			acc += v
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return total, nil
+}
+
+// ScanInclusive computes inclusive prefix sums in place: out[i] = s[0]+…+s[i].
+func (p *Pool) ScanInclusive(ctx context.Context, s []int64) (int64, error) {
+	total, err := p.ScanExclusive(ctx, s)
+	if err != nil || len(s) == 0 {
+		return total, err
+	}
+	// Convert exclusive to inclusive by shifting left and appending total.
+	copy(s, s[1:])
+	s[len(s)-1] = total
+	return total, nil
+}

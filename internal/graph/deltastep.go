@@ -1,9 +1,11 @@
 package graph
 
 import (
+	"context"
 	"math"
 	"sync"
 
+	"pfg/internal/exec"
 	"pfg/internal/parallel"
 )
 
@@ -17,6 +19,13 @@ import (
 // delta must be positive; a reasonable default is the mean edge weight.
 // The result matches Dijkstra exactly.
 func (g *Graph) DeltaStepping(src int32, delta float64) []float64 {
+	out, _ := g.DeltaSteppingCtx(context.Background(), exec.Default(), src, delta)
+	return out
+}
+
+// DeltaSteppingCtx is DeltaStepping on an explicit pool with cooperative
+// cancellation, checked once per bucket phase.
+func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32, delta float64) ([]float64, error) {
 	n := g.N
 	dist := make([]parallel.Float64, n)
 	for i := range dist {
@@ -36,6 +45,9 @@ func (g *Graph) DeltaStepping(src int32, delta float64) []float64 {
 	for bi := 0; bi < len(buckets); bi++ {
 		var settled []int32
 		for len(buckets[bi]) > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			frontier := buckets[bi]
 			buckets[bi] = nil
 			// Deduplicate and keep only vertices still mapping to bucket bi.
@@ -52,7 +64,7 @@ func (g *Graph) DeltaStepping(src int32, delta float64) []float64 {
 			// vertices under a lock to requeue.
 			var mu sync.Mutex
 			var improved []int32
-			parallel.ForBlocked(len(active), 64, func(lo, hi int) {
+			pool.ForBlocked(ctx, len(active), 64, func(lo, hi int) {
 				var local []int32
 				for k := lo; k < hi; k++ {
 					v := active[k]
@@ -86,7 +98,7 @@ func (g *Graph) DeltaStepping(src int32, delta float64) []float64 {
 		// Heavy edges of everything settled in this bucket, once.
 		var mu sync.Mutex
 		var improved []int32
-		parallel.ForBlocked(len(settled), 64, func(lo, hi int) {
+		pool.ForBlocked(ctx, len(settled), 64, func(lo, hi int) {
 			var local []int32
 			for k := lo; k < hi; k++ {
 				v := settled[k]
@@ -116,11 +128,14 @@ func (g *Graph) DeltaStepping(src int32, delta float64) []float64 {
 			inBucket[v] = false
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	out := make([]float64, n)
 	for i := range out {
 		out[i] = dist[i].Load()
 	}
-	return out
+	return out, nil
 }
 
 // MeanEdgeWeight returns the average edge weight, a practical Δ choice.
@@ -139,12 +154,30 @@ func (g *Graph) MeanEdgeWeight() float64 {
 // the alternative APSP the evaluation's ablation compares against the
 // Dijkstra-based APSP.
 func (g *Graph) AllPairsShortestPathsDelta(delta float64) *APSP {
+	a, _ := g.AllPairsShortestPathsDeltaCtx(context.Background(), exec.Default(), delta)
+	return a
+}
+
+// AllPairsShortestPathsDeltaCtx is AllPairsShortestPathsDelta on an explicit
+// pool with cooperative cancellation. The per-source Δ-stepping runs reuse
+// the same pool for their inner relaxation phases.
+func (g *Graph) AllPairsShortestPathsDeltaCtx(ctx context.Context, pool *exec.Pool, delta float64) (*APSP, error) {
 	if delta <= 0 {
 		delta = g.MeanEdgeWeight()
 	}
 	a := &APSP{N: g.N, Dist: make([]float64, g.N*g.N)}
-	parallel.ForGrain(g.N, 1, func(src int) {
-		copy(a.Dist[src*g.N:(src+1)*g.N], g.DeltaStepping(int32(src), delta))
+	err := pool.ForGrain(ctx, g.N, 1, func(src int) {
+		row, err := g.DeltaSteppingCtx(ctx, pool, int32(src), delta)
+		if err != nil {
+			return
+		}
+		copy(a.Dist[src*g.N:(src+1)*g.N], row)
 	})
-	return a
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }

@@ -1,9 +1,10 @@
 package graph
 
 import (
+	"context"
 	"math"
 
-	"pfg/internal/parallel"
+	"pfg/internal/exec"
 )
 
 // distHeap is a hand-rolled binary min-heap over (dist, vertex) pairs with a
@@ -151,11 +152,22 @@ type APSP struct {
 // At returns the shortest-path distance from u to v.
 func (a *APSP) At(u, v int32) float64 { return a.Dist[int(u)*a.N+int(v)] }
 
-// AllPairsShortestPaths runs parallel Dijkstra from every source.
+// AllPairsShortestPaths runs parallel Dijkstra from every source on the
+// shared default pool, without cancellation.
 func (g *Graph) AllPairsShortestPaths() *APSP {
+	a, _ := g.AllPairsShortestPathsCtx(context.Background(), exec.Default())
+	return a
+}
+
+// AllPairsShortestPathsCtx runs parallel Dijkstra from every source on the
+// given pool; cancellation is checked between per-source runs.
+func (g *Graph) AllPairsShortestPathsCtx(ctx context.Context, pool *exec.Pool) (*APSP, error) {
 	a := &APSP{N: g.N, Dist: make([]float64, g.N*g.N)}
-	parallel.ForGrain(g.N, 1, func(src int) {
+	err := pool.ForGrain(ctx, g.N, 1, func(src int) {
 		g.Dijkstra(int32(src), a.Dist[src*g.N:(src+1)*g.N])
 	})
-	return a
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
 }

@@ -11,12 +11,13 @@
 package hac
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"pfg/internal/dendro"
-	"pfg/internal/parallel"
+	"pfg/internal/exec"
 )
 
 // Linkage selects the cluster-distance update rule.
@@ -55,9 +56,16 @@ func (l Linkage) String() string {
 }
 
 // Run clusters n points whose pairwise dissimilarities are given by dist
-// (which must be symmetric; the diagonal is ignored). It returns a full
-// dendrogram whose merge heights are the linkage distances.
+// (which must be symmetric; the diagonal is ignored), on the shared default
+// pool without cancellation. It returns a full dendrogram whose merge
+// heights are the linkage distances.
 func Run(n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	return RunCtx(context.Background(), exec.Default(), n, dist, linkage)
+}
+
+// RunCtx is Run on an explicit pool; cancellation is checked while the
+// dissimilarity matrix is materialized and once per NN-chain merge.
+func RunCtx(ctx context.Context, pool *exec.Pool, n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogram, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
 	}
@@ -66,19 +74,28 @@ func Run(n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogra
 	}
 	// Working copy of the dissimilarity matrix.
 	d := make([]float64, n*n)
-	parallel.ForGrain(n, 4, func(i int) {
+	err := pool.ForGrain(ctx, n, 4, func(i int) {
 		for j := 0; j < n; j++ {
 			if i != j {
 				d[i*n+j] = dist(i, j)
 			}
 		}
 	})
-	return runOnMatrix(n, d, linkage)
+	if err != nil {
+		return nil, err
+	}
+	return runOnMatrix(ctx, pool, n, d, linkage)
 }
 
 // RunMatrix clusters using a prebuilt row-major n×n dissimilarity matrix,
 // which is consumed (overwritten) by the algorithm.
 func RunMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	return RunMatrixCtx(context.Background(), exec.Default(), n, d, linkage)
+}
+
+// RunMatrixCtx is RunMatrix on an explicit pool with cooperative
+// cancellation, checked once per NN-chain merge.
+func RunMatrixCtx(ctx context.Context, pool *exec.Pool, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
 	}
@@ -88,7 +105,7 @@ func RunMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) 
 	if n == 1 {
 		return &dendro.Dendrogram{N: 1}, nil
 	}
-	return runOnMatrix(n, d, linkage)
+	return runOnMatrix(ctx, pool, n, d, linkage)
 }
 
 // chainMerge is an NN-chain merge record over matrix slots.
@@ -97,7 +114,7 @@ type chainMerge struct {
 	dist float64
 }
 
-func runOnMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
 	// Ward's Lance-Williams recurrence operates on squared distances.
 	if linkage == Ward {
 		for i := range d {
@@ -114,6 +131,9 @@ func runOnMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error
 	chain := make([]int32, 0, n)
 	remaining := n
 	for remaining > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(chain) == 0 {
 			for i := 0; i < n; i++ {
 				if active[i] {
@@ -157,7 +177,7 @@ func runOnMatrix(n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error
 				sa, sb := float64(size[a]), float64(size[b])
 				na := int(a) * n
 				nb := int(b) * n
-				parallel.ForBlocked(n, 2048, func(lo, hi int) {
+				pool.ForBlocked(ctx, n, 2048, func(lo, hi int) {
 					for y := lo; y < hi; y++ {
 						if !active[y] || int32(y) == a || int32(y) == b {
 							continue

@@ -6,11 +6,13 @@
 package kmeans
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
-	"pfg/internal/parallel"
+	"pfg/internal/exec"
 )
 
 // Options configures a clustering run.
@@ -44,8 +46,15 @@ func sqDist(a, b []float64) float64 {
 	return s
 }
 
-// Run clusters the points (each a vector of equal dimension).
+// Run clusters the points (each a vector of equal dimension) on the shared
+// default pool, without cancellation.
 func Run(points [][]float64, opts Options) (*Result, error) {
+	return RunCtx(context.Background(), exec.Default(), points, opts)
+}
+
+// RunCtx is Run on an explicit pool; cancellation is checked once per Lloyd
+// iteration and inside the parallel assignment loops.
+func RunCtx(ctx context.Context, pool *exec.Pool, points [][]float64, opts Options) (*Result, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, fmt.Errorf("kmeans: no points")
@@ -67,16 +76,26 @@ func Run(points [][]float64, opts Options) (*Result, error) {
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	var centers [][]float64
+	var err error
 	if opts.Scalable {
-		centers = initScalable(points, opts.K, opts.OversampleRounds, rng)
+		centers, err = initScalable(ctx, pool, points, opts.K, opts.OversampleRounds, rng)
 	} else {
-		centers = initPlusPlus(points, opts.K, rng)
+		centers, err = initPlusPlus(ctx, pool, points, opts.K, rng)
+	}
+	if err != nil {
+		return nil, err
 	}
 	labels := make([]int, n)
 	dists := make([]float64, n)
 	iter := 0
 	for ; iter < opts.MaxIter; iter++ {
-		changed := assign(points, centers, labels, dists)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		changed, err := assign(ctx, pool, points, centers, labels, dists)
+		if err != nil {
+			return nil, err
+		}
 		if !recompute(points, centers, labels, rng) && !changed {
 			break
 		}
@@ -84,15 +103,20 @@ func Run(points [][]float64, opts Options) (*Result, error) {
 			break
 		}
 	}
-	assign(points, centers, labels, dists)
-	inertia := parallel.Sum(n, func(i int) float64 { return dists[i] })
+	if _, err := assign(ctx, pool, points, centers, labels, dists); err != nil {
+		return nil, err
+	}
+	inertia, err := pool.Sum(ctx, n, func(i int) float64 { return dists[i] })
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Labels: labels, Centers: centers, Inertia: inertia, Iterations: iter}, nil
 }
 
 // assign sets labels to the nearest center, returning whether any changed.
-func assign(points, centers [][]float64, labels []int, dists []float64) bool {
-	changed := make([]bool, parallel.Workers())
-	parallel.ForBlocked(len(points), 256, func(lo, hi int) {
+func assign(ctx context.Context, pool *exec.Pool, points, centers [][]float64, labels []int, dists []float64) (bool, error) {
+	var changed atomic.Bool
+	err := pool.ForBlocked(ctx, len(points), 256, func(lo, hi int) {
 		c := false
 		for i := lo; i < hi; i++ {
 			best, bd := 0, math.Inf(1)
@@ -108,10 +132,10 @@ func assign(points, centers [][]float64, labels []int, dists []float64) bool {
 			dists[i] = bd
 		}
 		if c {
-			changed[0] = true // single flag write; benign overlap
+			changed.Store(true)
 		}
 	})
-	return changed[0]
+	return changed.Load(), err
 }
 
 // recompute recalculates centers as the means of their assignments; empty
@@ -148,7 +172,7 @@ func recompute(points, centers [][]float64, labels []int, rng *rand.Rand) bool {
 }
 
 // initPlusPlus is standard k-means++ seeding.
-func initPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
+func initPlusPlus(ctx context.Context, pool *exec.Pool, points [][]float64, k int, rng *rand.Rand) ([][]float64, error) {
 	n := len(points)
 	centers := make([][]float64, 0, k)
 	first := rng.Intn(n)
@@ -158,6 +182,9 @@ func initPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 		d2[i] = sqDist(points[i], centers[0])
 	}
 	for len(centers) < k {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		total := 0.0
 		for _, d := range d2 {
 			total += d
@@ -179,21 +206,24 @@ func initPlusPlus(points [][]float64, k int, rng *rand.Rand) [][]float64 {
 		}
 		c := append([]float64{}, points[idx]...)
 		centers = append(centers, c)
-		parallel.ForBlocked(n, 1024, func(lo, hi int) {
+		err := pool.ForBlocked(ctx, n, 1024, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				if d := sqDist(points[i], c); d < d2[i] {
 					d2[i] = d
 				}
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
-	return centers
+	return centers, nil
 }
 
 // initScalable is k-means|| seeding: oversample ~2k candidates per round for
 // a few rounds, then weight candidates by attraction counts and run
 // k-means++ on the weighted candidate set.
-func initScalable(points [][]float64, k, rounds int, rng *rand.Rand) [][]float64 {
+func initScalable(ctx context.Context, pool *exec.Pool, points [][]float64, k, rounds int, rng *rand.Rand) ([][]float64, error) {
 	n := len(points)
 	var cand [][]float64
 	first := rng.Intn(n)
@@ -204,7 +234,10 @@ func initScalable(points [][]float64, k, rounds int, rng *rand.Rand) [][]float64
 	}
 	l := 2 * k // oversampling factor
 	for r := 0; r < rounds; r++ {
-		total := parallel.Sum(n, func(i int) float64 { return d2[i] })
+		total, err := pool.Sum(ctx, n, func(i int) float64 { return d2[i] })
+		if err != nil {
+			return nil, err
+		}
 		if total == 0 {
 			break
 		}
@@ -218,7 +251,7 @@ func initScalable(points [][]float64, k, rounds int, rng *rand.Rand) [][]float64
 		for _, i := range newIdx {
 			cand = append(cand, append([]float64{}, points[i]...))
 		}
-		parallel.ForBlocked(n, 1024, func(lo, hi int) {
+		err = pool.ForBlocked(ctx, n, 1024, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				for _, idx := range newIdx {
 					if d := sqDist(points[i], points[idx]); d < d2[i] {
@@ -227,19 +260,22 @@ func initScalable(points [][]float64, k, rounds int, rng *rand.Rand) [][]float64
 				}
 			}
 		})
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(cand) <= k {
 		// Too few candidates: top up with random points.
 		for len(cand) < k {
 			cand = append(cand, append([]float64{}, points[rng.Intn(n)]...))
 		}
-		return cand[:k]
+		return cand[:k], nil
 	}
 	// Weight candidates by how many points they attract (nearest-candidate
 	// counts), accumulating per point into per-index assignments first so
 	// the parallel loop writes disjoint slots.
 	nearest := make([]int, n)
-	parallel.ForBlocked(n, 1024, func(lo, hi int) {
+	err := pool.ForBlocked(ctx, n, 1024, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			best, bd := 0, math.Inf(1)
 			for c := range cand {
@@ -250,11 +286,14 @@ func initScalable(points [][]float64, k, rounds int, rng *rand.Rand) [][]float64
 			nearest[i] = best
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	weights := make([]float64, len(cand))
 	for _, c := range nearest {
 		weights[c]++
 	}
-	return weightedPlusPlus(cand, weights, k, rng)
+	return weightedPlusPlus(cand, weights, k, rng), nil
 }
 
 // weightedPlusPlus runs k-means++ over weighted candidates.

@@ -4,10 +4,11 @@
 package matrix
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"pfg/internal/parallel"
+	"pfg/internal/exec"
 )
 
 // Sym is a dense symmetric n×n matrix stored in row-major full form. Full
@@ -71,10 +72,35 @@ func (m *Sym) Validate(tol float64) error {
 }
 
 // Pearson computes the n×n Pearson correlation matrix of the given series
-// (each series[i] must have the same length ≥ 2). Zero-variance series
-// correlate 0 with everything and 1 with themselves. The computation is
-// parallel over row blocks.
+// using the shared default pool and no cancellation.
 func Pearson(series [][]float64) (*Sym, error) {
+	return PearsonCtx(context.Background(), exec.Default(), series)
+}
+
+// dot4 is the Pearson inner product, 4-way unrolled with independent
+// accumulators so the four chains issue in parallel on superscalar cores.
+func dot4(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	t := 0
+	for ; t+4 <= len(a); t += 4 {
+		s0 += a[t] * b[t]
+		s1 += a[t+1] * b[t+1]
+		s2 += a[t+2] * b[t+2]
+		s3 += a[t+3] * b[t+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; t < len(a); t++ {
+		s += a[t] * b[t]
+	}
+	return s
+}
+
+// PearsonCtx computes the n×n Pearson correlation matrix of the given series
+// (each series[i] must have the same length ≥ 2) on the given pool,
+// honouring cancellation at chunk boundaries. Zero-variance series correlate
+// 0 with everything and 1 with themselves. The computation is parallel over
+// row blocks.
+func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, fmt.Errorf("matrix: no series")
@@ -92,7 +118,7 @@ func Pearson(series [][]float64) (*Sym, error) {
 	// matrix is then Z·Zᵀ.
 	z := make([][]float64, n)
 	zero := make([]bool, n)
-	parallel.ForGrain(n, 8, func(i int) {
+	err := pool.ForGrain(ctx, n, 8, func(i int) {
 		zi := make([]float64, l)
 		mean := 0.0
 		for _, v := range series[i] {
@@ -115,8 +141,11 @@ func Pearson(series [][]float64) (*Sym, error) {
 		}
 		z[i] = zi
 	})
+	if err != nil {
+		return nil, err
+	}
 	m := NewSym(n)
-	parallel.ForGrain(n, 4, func(i int) {
+	err = pool.ForGrain(ctx, n, 4, func(i int) {
 		zi := z[i]
 		row := m.Row(i)
 		for j := i; j < n; j++ {
@@ -127,10 +156,7 @@ func Pearson(series [][]float64) (*Sym, error) {
 			case zero[i] || zero[j]:
 				// p stays 0
 			default:
-				zj := z[j]
-				for t := range zi {
-					p += zi[t] * zj[t]
-				}
+				p = dot4(zi, z[j])
 				// Clamp rounding noise so dissimilarities stay real.
 				if p > 1 {
 					p = 1
@@ -141,21 +167,34 @@ func Pearson(series [][]float64) (*Sym, error) {
 			row[j] = p
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Mirror the upper triangle.
-	parallel.ForGrain(n, 16, func(i int) {
+	err = pool.ForGrain(ctx, n, 16, func(i int) {
 		for j := 0; j < i; j++ {
 			m.Data[i*m.N+j] = m.Data[j*m.N+i]
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
 // Dissimilarity converts a correlation matrix into the metric dissimilarity
-// d(i,j) = sqrt(2·(1−p(i,j))) used by the paper (Marti et al.). For
-// normalized zero-mean vectors this equals the Euclidean distance.
+// using the shared default pool and no cancellation.
 func Dissimilarity(corr *Sym) *Sym {
+	d, _ := DissimilarityCtx(context.Background(), exec.Default(), corr)
+	return d
+}
+
+// DissimilarityCtx converts a correlation matrix into the metric
+// dissimilarity d(i,j) = sqrt(2·(1−p(i,j))) used by the paper (Marti et
+// al.). For normalized zero-mean vectors this equals the Euclidean distance.
+func DissimilarityCtx(ctx context.Context, pool *exec.Pool, corr *Sym) (*Sym, error) {
 	d := NewSym(corr.N)
-	parallel.ForGrain(corr.N, 16, func(i int) {
+	err := pool.ForGrain(ctx, corr.N, 16, func(i int) {
 		src, dst := corr.Row(i), d.Row(i)
 		for j := range src {
 			v := 2 * (1 - src[j])
@@ -165,7 +204,10 @@ func Dissimilarity(corr *Sym) *Sym {
 			dst[j] = math.Sqrt(v)
 		}
 	})
-	return d
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
 }
 
 // EdgeWeightSum returns the sum of similarity-matrix entries over the given

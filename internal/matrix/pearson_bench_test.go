@@ -1,0 +1,69 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkPearson guards the unrolled correlation inner product (the hot
+// loop of the pipeline's first stage).
+func BenchmarkPearson(b *testing.B) {
+	const n, l = 256, 1024
+	rng := rand.New(rand.NewSource(1))
+	series := make([][]float64, n)
+	for i := range series {
+		s := make([]float64, l)
+		for t := range s {
+			s[t] = rng.NormFloat64()
+		}
+		series[i] = s
+	}
+	b.SetBytes(int64(n * n / 2 * l * 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Pearson(series); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDot4(b *testing.B) {
+	const l = 4096
+	x := make([]float64, l)
+	y := make([]float64, l)
+	rng := rand.New(rand.NewSource(2))
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.SetBytes(int64(2 * l * 8))
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += dot4(x, y)
+	}
+	benchSink = sink
+}
+
+var benchSink float64
+
+// TestDot4MatchesNaive pins the unrolled kernel to the straightforward loop
+// (exact equality is not required across orders; 1e-12 relative slack).
+func TestDot4MatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, l := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 100, 1023} {
+		x := make([]float64, l)
+		y := make([]float64, l)
+		for i := 0; i < l; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		want := 0.0
+		for i := 0; i < l; i++ {
+			want += x[i] * y[i]
+		}
+		got := dot4(x, y)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("l=%d: dot4=%v naive=%v", l, got, want)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 package parallel
 
-import "sync"
+import "pfg/internal/exec"
 
 // SortInt32ByKey sorts the items so their keys are non-decreasing, using a
 // parallel counting sort when the key range is small (the paper's parallel
@@ -11,96 +11,5 @@ import "sync"
 // Falls back to the comparison Sort when the key range is much larger than
 // the item count.
 func SortInt32ByKey[T any](items []T, key func(T) int32, keyBound int32) {
-	n := len(items)
-	if n <= 1 {
-		return
-	}
-	if int(keyBound) > 16*n+1024 {
-		// Counting would be dominated by the histogram; compare instead.
-		Sort(items, func(a, b T) bool { return key(a) < key(b) })
-		return
-	}
-	p := Workers()
-	if p == 1 || n < 4*minGrain {
-		countingSortSeq(items, key, keyBound)
-		return
-	}
-	// Parallel stable counting sort: per-block histograms, then exclusive
-	// offsets per (block, key) computed column-major so equal keys preserve
-	// block order.
-	blocks := p
-	chunk := (n + blocks - 1) / blocks
-	hist := make([][]int32, blocks)
-	var wg sync.WaitGroup
-	for b := 0; b < blocks; b++ {
-		lo, hi := b*chunk, (b+1)*chunk
-		if lo >= n {
-			hist[b] = make([]int32, keyBound)
-			continue
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			h := make([]int32, keyBound)
-			for i := lo; i < hi; i++ {
-				h[key(items[i])]++
-			}
-			hist[b] = h
-		}(b, lo, hi)
-	}
-	wg.Wait()
-	// Exclusive prefix over (key-major, block-minor) order.
-	offset := make([][]int32, blocks)
-	for b := range offset {
-		offset[b] = make([]int32, keyBound)
-	}
-	var running int32
-	for k := int32(0); k < keyBound; k++ {
-		for b := 0; b < blocks; b++ {
-			offset[b][k] = running
-			running += hist[b][k]
-		}
-	}
-	out := make([]T, n)
-	for b := 0; b < blocks; b++ {
-		lo, hi := b*chunk, (b+1)*chunk
-		if lo >= n {
-			continue
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			off := offset[b]
-			for i := lo; i < hi; i++ {
-				k := key(items[i])
-				out[off[k]] = items[i]
-				off[k]++
-			}
-		}(b, lo, hi)
-	}
-	wg.Wait()
-	copy(items, out)
-}
-
-func countingSortSeq[T any](items []T, key func(T) int32, keyBound int32) {
-	counts := make([]int32, keyBound+1)
-	for _, it := range items {
-		counts[key(it)+1]++
-	}
-	for k := int32(1); k <= keyBound; k++ {
-		counts[k] += counts[k-1]
-	}
-	out := make([]T, len(items))
-	for _, it := range items {
-		k := key(it)
-		out[counts[k]] = it
-		counts[k]++
-	}
-	copy(items, out)
+	exec.SortInt32ByKey(bg, exec.Default(), items, key, keyBound)
 }

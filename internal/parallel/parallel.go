@@ -3,274 +3,74 @@
 // filter, maximum, and the priority concurrent writes (WriteMin, WriteMax,
 // WriteAdd) from Table I of Yu & Shun (ICDE 2023).
 //
-// The implementation uses plain goroutines with chunked index ranges. The
-// number of workers tracks runtime.GOMAXPROCS(0) at call time, so benchmark
-// harnesses can sweep thread counts by adjusting GOMAXPROCS.
+// The package is a thin compatibility shim over the bounded execution engine
+// in pfg/internal/exec: every primitive delegates to the shared default pool
+// with a background (never-cancelled) context. The pool tracks
+// runtime.GOMAXPROCS(0), so benchmark harnesses can still sweep thread
+// counts by adjusting GOMAXPROCS. Code that needs per-request worker budgets
+// or cancellation should use an exec.Pool directly.
 package parallel
 
 import (
-	"runtime"
-	"sync"
+	"context"
+
+	"pfg/internal/exec"
 )
 
-// minGrain is the smallest chunk of work handed to a goroutine. Loops
-// shorter than this run sequentially to avoid scheduling overhead.
-const minGrain = 512
+// bg is the context used by the legacy, uncancellable entry points.
+var bg = context.Background()
 
 // Workers reports the number of parallel workers that will be used for
 // subsequent parallel calls (the current GOMAXPROCS setting).
-func Workers() int { return runtime.GOMAXPROCS(0) }
+func Workers() int { return exec.Default().Workers() }
 
 // For runs f(i) for every i in [0, n) and returns when all calls complete.
 // Iterations must be safe to run concurrently.
 func For(n int, f func(i int)) {
-	ForBlocked(n, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f(i)
-		}
-	})
+	exec.Default().For(bg, n, f)
 }
 
 // ForGrain is like For but with an explicit minimum grain size. A grain of 1
 // forces maximal parallelism (one chunk per worker regardless of n), which is
 // useful when each iteration is itself expensive.
 func ForGrain(n, grain int, f func(i int)) {
-	ForBlocked(n, grain, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			f(i)
-		}
-	})
+	exec.Default().ForGrain(bg, n, grain, f)
 }
 
 // ForBlocked partitions [0, n) into contiguous blocks and runs f(lo, hi) on
 // each block in parallel. grain ≤ 0 selects an automatic grain.
 func ForBlocked(n, grain int, f func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	p := Workers()
-	if grain <= 0 {
-		grain = minGrain
-	}
-	if p == 1 || n <= grain {
-		f(0, n)
-		return
-	}
-	nchunks := (n + grain - 1) / grain
-	// Cap chunk count at 8 chunks per worker: enough for load balancing
-	// without excessive goroutine churn.
-	if maxChunks := 8 * p; nchunks > maxChunks {
-		nchunks = maxChunks
-	}
-	chunk := (n + nchunks - 1) / nchunks
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			f(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	exec.Default().ForBlocked(bg, n, grain, f)
 }
 
 // Do runs the given functions concurrently and returns when all complete.
 func Do(fs ...func()) {
-	if len(fs) == 0 {
-		return
-	}
-	if len(fs) == 1 || Workers() == 1 {
-		for _, f := range fs {
-			f()
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(fs) - 1)
-	for _, f := range fs[1:] {
-		go func(f func()) {
-			defer wg.Done()
-			f()
-		}(f)
-	}
-	fs[0]()
-	wg.Wait()
+	exec.Default().Do(bg, fs...)
 }
 
 // Filter returns the elements of s for which keep is true, preserving order.
-// It parallelizes the predicate evaluation and uses per-block counts plus a
-// prefix sum to write results contiguously.
 func Filter[T any](s []T, keep func(T) bool) []T {
-	n := len(s)
-	if n < 4*minGrain || Workers() == 1 {
-		out := make([]T, 0, n)
-		for _, v := range s {
-			if keep(v) {
-				out = append(out, v)
-			}
-		}
-		return out
-	}
-	p := Workers()
-	chunk := (n + p - 1) / p
-	counts := make([]int, p+1)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			c := 0
-			for i := lo; i < hi; i++ {
-				if keep(s[i]) {
-					c++
-				}
-			}
-			counts[w+1] = c
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	for w := 0; w < p; w++ {
-		counts[w+1] += counts[w]
-	}
-	out := make([]T, counts[p])
-	for w := 0; w < p; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			pos := counts[w]
-			for i := lo; i < hi; i++ {
-				if keep(s[i]) {
-					out[pos] = s[i]
-					pos++
-				}
-			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
+	out, _ := exec.Filter(bg, exec.Default(), s, keep)
 	return out
 }
 
 // FilterIndex returns the indices i in [0, n) for which keep(i) is true, in
 // increasing order.
 func FilterIndex(n int, keep func(i int) bool) []int32 {
-	idx := make([]int32, n)
-	for i := range idx {
-		idx[i] = int32(i)
-	}
-	return Filter(idx, func(i int32) bool { return keep(int(i)) })
+	out, _ := exec.FilterIndex(bg, exec.Default(), n, keep)
+	return out
 }
 
 // MaxIndex returns the index i in [0, n) maximizing val(i), breaking ties
 // toward the smaller index. It returns -1 when n ≤ 0.
 func MaxIndex(n int, val func(i int) float64) int {
-	if n <= 0 {
-		return -1
-	}
-	p := Workers()
-	if p == 1 || n < 4*minGrain {
-		best := 0
-		bv := val(0)
-		for i := 1; i < n; i++ {
-			if v := val(i); v > bv {
-				best, bv = i, v
-			}
-		}
-		return best
-	}
-	chunk := (n + p - 1) / p
-	bestIdx := make([]int, p)
-	bestVal := make([]float64, p)
-	for w := range bestIdx {
-		bestIdx[w] = -1
-	}
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			best, bv := lo, val(lo)
-			for i := lo + 1; i < hi; i++ {
-				if v := val(i); v > bv {
-					best, bv = i, v
-				}
-			}
-			bestIdx[w], bestVal[w] = best, bv
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	best, bv := -1, 0.0
-	for w := range bestIdx {
-		if bestIdx[w] >= 0 && (best == -1 || bestVal[w] > bv) {
-			best, bv = bestIdx[w], bestVal[w]
-		}
-	}
+	best, _ := exec.Default().MaxIndex(bg, n, val)
 	return best
 }
 
 // Sum returns the sum of val(i) for i in [0, n), computed in parallel with
 // per-block partial sums (deterministic for a fixed worker count).
 func Sum(n int, val func(i int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	p := Workers()
-	if p == 1 || n < 4*minGrain {
-		s := 0.0
-		for i := 0; i < n; i++ {
-			s += val(i)
-		}
-		return s
-	}
-	chunk := (n + p - 1) / p
-	partial := make([]float64, p)
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			s := 0.0
-			for i := lo; i < hi; i++ {
-				s += val(i)
-			}
-			partial[w] = s
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	total := 0.0
-	for _, s := range partial {
-		total += s
-	}
-	return total
+	s, _ := exec.Default().Sum(bg, n, val)
+	return s
 }

@@ -9,8 +9,18 @@ import (
 	"testing/quick"
 )
 
+// stressSize returns full, or cheap under -short: the large sizes exist to
+// stress goroutine scheduling and chunking, not correctness, and are the
+// bulk of this package's test wall-time.
+func stressSize(full, cheap int) int {
+	if testing.Short() {
+		return cheap
+	}
+	return full
+}
+
 func TestForCoversAllIndices(t *testing.T) {
-	for _, n := range []int{0, 1, 7, 511, 512, 513, 100000} {
+	for _, n := range []int{0, 1, 7, 511, 512, 513, stressSize(100000, 10000)} {
 		seen := make([]int32, n)
 		For(n, func(i int) { atomic.AddInt32(&seen[i], 1) })
 		for i, c := range seen {
@@ -64,7 +74,7 @@ func TestDoRunsAll(t *testing.T) {
 
 func TestFilterMatchesSequential(t *testing.T) {
 	f := func(seed int64, nRaw uint16) bool {
-		n := int(nRaw) * 4 // exercise both sequential and parallel paths
+		n := (int(nRaw) % stressSize(1<<16, 3000)) * 4 // exercise both sequential and parallel paths
 		rng := rand.New(rand.NewSource(seed))
 		s := make([]int, n)
 		for i := range s {
@@ -107,7 +117,7 @@ func TestFilterIndex(t *testing.T) {
 }
 
 func TestSortMatchesStdlib(t *testing.T) {
-	for _, n := range []int{0, 1, 2, 100, sortSeqCutoff - 1, sortSeqCutoff, 3 * sortSeqCutoff, 100000} {
+	for _, n := range []int{0, 1, 2, 100, sortSeqCutoff - 1, sortSeqCutoff, 3 * sortSeqCutoff, stressSize(100000, 5*sortSeqCutoff)} {
 		rng := rand.New(rand.NewSource(int64(n)))
 		s := make([]float64, n)
 		for i := range s {
@@ -125,7 +135,7 @@ func TestSortMatchesStdlib(t *testing.T) {
 }
 
 func TestSortDescending(t *testing.T) {
-	n := 50000
+	n := stressSize(50000, 3*sortSeqCutoff)
 	rng := rand.New(rand.NewSource(7))
 	s := make([]int, n)
 	for i := range s {
@@ -143,7 +153,7 @@ func TestMaxIndex(t *testing.T) {
 	if got := MaxIndex(0, nil); got != -1 {
 		t.Fatalf("empty: got %d", got)
 	}
-	for _, n := range []int{1, 10, 5000, 100000} {
+	for _, n := range []int{1, 10, 5000, stressSize(100000, 10000)} {
 		rng := rand.New(rand.NewSource(int64(n)))
 		s := make([]float64, n)
 		for i := range s {
@@ -164,7 +174,7 @@ func TestMaxIndex(t *testing.T) {
 
 func TestMaxIndexTieBreak(t *testing.T) {
 	// All equal: must return the smallest index.
-	n := 100000
+	n := stressSize(100000, 10000)
 	got := MaxIndex(n, func(i int) float64 { return 1.0 })
 	if got != 0 {
 		t.Fatalf("tie-break: got %d want 0", got)
@@ -172,7 +182,7 @@ func TestMaxIndexTieBreak(t *testing.T) {
 }
 
 func TestSum(t *testing.T) {
-	for _, n := range []int{0, 1, 100, 100000} {
+	for _, n := range []int{0, 1, 100, stressSize(100000, 10000)} {
 		got := Sum(n, func(i int) float64 { return 1 })
 		if got != float64(n) {
 			t.Fatalf("n=%d: got %v", n, got)
@@ -307,7 +317,7 @@ func TestArgMaxTieBreaksTowardSmallID(t *testing.T) {
 }
 
 func TestScanExclusive(t *testing.T) {
-	for _, n := range []int{0, 1, 5, 1000, 100000} {
+	for _, n := range []int{0, 1, 5, 1000, stressSize(100000, 10000)} {
 		s := make([]int64, n)
 		for i := range s {
 			s[i] = int64(i%7 + 1)
@@ -346,14 +356,15 @@ func TestScanInclusive(t *testing.T) {
 		t.Fatal("empty inclusive scan")
 	}
 	// Large parallel path.
-	big := make([]int64, 200000)
+	n := stressSize(200000, 20000)
+	big := make([]int64, n)
 	for i := range big {
 		big[i] = 1
 	}
-	if got := ScanInclusive(big); got != 200000 {
+	if got := ScanInclusive(big); got != int64(n) {
 		t.Fatalf("big total %d", got)
 	}
-	if big[123456] != 123457 {
-		t.Fatalf("big[123456]=%d", big[123456])
+	if big[n/2] != int64(n/2+1) {
+		t.Fatalf("big[%d]=%d", n/2, big[n/2])
 	}
 }

@@ -1,86 +1,16 @@
 package parallel
 
-import "sync"
+import "pfg/internal/exec"
 
 // ScanExclusive computes the exclusive prefix sums of s in place and returns
-// the total: out[i] = s[0]+…+s[i-1]. Large inputs use the classic two-pass
-// block-scan (per-block sums, sequential scan of the block sums, then
-// per-block local scans in parallel).
+// the total: out[i] = s[0]+…+s[i-1].
 func ScanExclusive(s []int64) int64 {
-	n := len(s)
-	if n == 0 {
-		return 0
-	}
-	p := Workers()
-	if p == 1 || n < 4*minGrain {
-		var acc int64
-		for i := 0; i < n; i++ {
-			v := s[i]
-			s[i] = acc
-			acc += v
-		}
-		return acc
-	}
-	blocks := p
-	chunk := (n + blocks - 1) / blocks
-	sums := make([]int64, blocks)
-	var wg sync.WaitGroup
-	for b := 0; b < blocks; b++ {
-		lo, hi := b*chunk, (b+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			var acc int64
-			for i := lo; i < hi; i++ {
-				acc += s[i]
-			}
-			sums[b] = acc
-		}(b, lo, hi)
-	}
-	wg.Wait()
-	var total int64
-	for b := 0; b < blocks; b++ {
-		v := sums[b]
-		sums[b] = total
-		total += v
-	}
-	for b := 0; b < blocks; b++ {
-		lo, hi := b*chunk, (b+1)*chunk
-		if lo >= n {
-			break
-		}
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(b, lo, hi int) {
-			defer wg.Done()
-			acc := sums[b]
-			for i := lo; i < hi; i++ {
-				v := s[i]
-				s[i] = acc
-				acc += v
-			}
-		}(b, lo, hi)
-	}
-	wg.Wait()
+	total, _ := exec.Default().ScanExclusive(bg, s)
 	return total
 }
 
 // ScanInclusive computes inclusive prefix sums in place: out[i] = s[0]+…+s[i].
 func ScanInclusive(s []int64) int64 {
-	total := ScanExclusive(s)
-	if len(s) == 0 {
-		return 0
-	}
-	// Convert exclusive to inclusive by shifting left and appending total.
-	copy(s, s[1:])
-	s[len(s)-1] = total
+	total, _ := exec.Default().ScanInclusive(bg, s)
 	return total
 }

@@ -1,77 +1,15 @@
 package parallel
 
-import (
-	"sort"
-	"sync"
-)
+import "pfg/internal/exec"
 
-// sortSeqCutoff is the slice length below which Sort falls back to the
-// sequential standard-library sort.
-const sortSeqCutoff = 4096
+// sortSeqCutoff is the engine's sequential-sort cutoff (referenced by tests
+// that exercise both paths).
+const sortSeqCutoff = exec.SortSeqCutoff
 
 // Sort sorts s in place using less, running a parallel merge sort for large
 // inputs. The sort is stable with respect to the merge structure only when
 // less defines a strict weak ordering; like sort.Slice, it is not a stable
 // sort.
 func Sort[T any](s []T, less func(a, b T) bool) {
-	if len(s) < sortSeqCutoff || Workers() == 1 {
-		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
-		return
-	}
-	buf := make([]T, len(s))
-	mergeSort(s, buf, less, depthFor(Workers()))
-}
-
-// depthFor returns a recursion depth that yields at least 2*p leaves.
-func depthFor(p int) int {
-	d := 1
-	for leaves := 2; leaves < 2*p; leaves *= 2 {
-		d++
-	}
-	return d
-}
-
-// mergeSort sorts s using buf as scratch. depth counts remaining levels of
-// parallel recursion.
-func mergeSort[T any](s, buf []T, less func(a, b T) bool, depth int) {
-	if len(s) < sortSeqCutoff || depth == 0 {
-		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
-		return
-	}
-	mid := len(s) / 2
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		mergeSort(s[:mid], buf[:mid], less, depth-1)
-	}()
-	mergeSort(s[mid:], buf[mid:], less, depth-1)
-	wg.Wait()
-	merge(s[:mid], s[mid:], buf, less)
-	copy(s, buf)
-}
-
-// merge merges sorted slices a and b into out (len(out) == len(a)+len(b)).
-func merge[T any](a, b, out []T, less func(x, y T) bool) {
-	i, j, k := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		if less(b[j], a[i]) {
-			out[k] = b[j]
-			j++
-		} else {
-			out[k] = a[i]
-			i++
-		}
-		k++
-	}
-	for i < len(a) {
-		out[k] = a[i]
-		i++
-		k++
-	}
-	for j < len(b) {
-		out[k] = b[j]
-		j++
-		k++
-	}
+	exec.Sort(bg, exec.Default(), s, less)
 }

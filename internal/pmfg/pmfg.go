@@ -7,12 +7,13 @@
 package pmfg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/matrix"
-	"pfg/internal/parallel"
 	"pfg/internal/planarity"
 )
 
@@ -26,8 +27,15 @@ type Result struct {
 	Tested int
 }
 
-// Build constructs the PMFG of the similarity matrix s.
+// Build constructs the PMFG of the similarity matrix s on the shared default
+// pool, without cancellation.
 func Build(s *matrix.Sym) (*Result, error) {
+	return BuildCtx(context.Background(), exec.Default(), s)
+}
+
+// BuildCtx constructs the PMFG, honouring cancellation between planarity
+// tests (each test is the expensive unit of work here).
+func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym) (*Result, error) {
 	n := s.N
 	if n < 3 {
 		return nil, fmt.Errorf("pmfg: need at least 3 vertices, have %d", n)
@@ -43,7 +51,7 @@ func Build(s *matrix.Sym) (*Result, error) {
 		}
 	}
 	// Highest weight first; deterministic tie-break on vertex ids.
-	parallel.Sort(cands, func(a, b cand) bool {
+	err := exec.Sort(ctx, pool, cands, func(a, b cand) bool {
 		if a.w != b.w {
 			return a.w > b.w
 		}
@@ -52,10 +60,16 @@ func Build(s *matrix.Sym) (*Result, error) {
 		}
 		return a.v < b.v
 	})
+	if err != nil {
+		return nil, err
+	}
 	target := 3*n - 6
 	res := &Result{}
 	accepted := make([][2]int32, 0, target)
 	for _, c := range cands {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if len(accepted) == target {
 			break
 		}

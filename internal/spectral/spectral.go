@@ -10,12 +10,13 @@
 package spectral
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
-	"pfg/internal/parallel"
+	"pfg/internal/exec"
 )
 
 // Options configures the embedding.
@@ -34,8 +35,15 @@ type Options struct {
 	Seed int64
 }
 
-// Embed computes the spectral embedding of the points.
+// Embed computes the spectral embedding of the points on the shared default
+// pool, without cancellation.
 func Embed(points [][]float64, opts Options) ([][]float64, error) {
+	return EmbedCtx(context.Background(), exec.Default(), points, opts)
+}
+
+// EmbedCtx is Embed on an explicit pool; cancellation is checked during kNN
+// graph construction and once per orthogonal-iteration step.
+func EmbedCtx(ctx context.Context, pool *exec.Pool, points [][]float64, opts Options) ([][]float64, error) {
 	n := len(points)
 	if n == 0 {
 		return nil, fmt.Errorf("spectral: no points")
@@ -52,8 +60,11 @@ func Embed(points [][]float64, opts Options) ([][]float64, error) {
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-7
 	}
-	adj := KNNGraph(points, opts.Neighbors)
-	return embedFromAdjacency(adj, n, opts)
+	adj, err := KNNGraphCtx(ctx, pool, points, opts.Neighbors)
+	if err != nil {
+		return nil, err
+	}
+	return embedFromAdjacency(ctx, pool, adj, n, opts)
 }
 
 // sparse is an adjacency list with unit (connectivity) weights.
@@ -64,9 +75,16 @@ type sparse struct {
 // KNNGraph builds the symmetrized connectivity kNN graph: i~j if j is among
 // i's k nearest neighbors or vice versa (scikit-learn's default affinity).
 func KNNGraph(points [][]float64, k int) *sparse {
+	s, _ := KNNGraphCtx(context.Background(), exec.Default(), points, k)
+	return s
+}
+
+// KNNGraphCtx is KNNGraph on an explicit pool with cooperative cancellation
+// (the per-point neighbor scans are the expensive chunks).
+func KNNGraphCtx(ctx context.Context, pool *exec.Pool, points [][]float64, k int) (*sparse, error) {
 	n := len(points)
 	nbrs := make([][]int32, n)
-	parallel.ForGrain(n, 1, func(i int) {
+	err := pool.ForGrain(ctx, n, 1, func(i int) {
 		type dv struct {
 			d float64
 			j int32
@@ -93,6 +111,9 @@ func KNNGraph(points [][]float64, k int) *sparse {
 		}
 		nbrs[i] = out
 	})
+	if err != nil {
+		return nil, err
+	}
 	// Symmetrize.
 	sets := make([]map[int32]bool, n)
 	for i := range sets {
@@ -113,7 +134,7 @@ func KNNGraph(points [][]float64, k int) *sparse {
 		sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
 		s.adj[i] = out
 	}
-	return s
+	return s, nil
 }
 
 func sqDist(a, b []float64) float64 {
@@ -129,7 +150,7 @@ func sqDist(a, b []float64) float64 {
 // B = D^{-1/2} W D^{-1/2} + I via block orthogonal iteration. Adding I
 // shifts the spectrum to [0, 2] so the leading eigenvectors of B are the
 // smallest of the normalized Laplacian.
-func embedFromAdjacency(s *sparse, n int, opts Options) ([][]float64, error) {
+func embedFromAdjacency(ctx context.Context, pool *exec.Pool, s *sparse, n int, opts Options) ([][]float64, error) {
 	invSqrtDeg := make([]float64, n)
 	for i := range s.adj {
 		d := float64(len(s.adj[i]))
@@ -160,9 +181,12 @@ func embedFromAdjacency(s *sparse, n int, opts Options) ([][]float64, error) {
 	}
 	for iter := 0; iter < opts.Iterations; iter++ {
 		// tmp = B q.
-		parallel.ForGrain(k, 1, func(c int) {
+		err := pool.ForGrain(ctx, k, 1, func(c int) {
 			matVec(s, invSqrtDeg, q[c], tmp[c])
 		})
+		if err != nil {
+			return nil, err
+		}
 		for c := range q {
 			q[c], tmp[c] = tmp[c], q[c]
 		}

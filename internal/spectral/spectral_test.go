@@ -1,10 +1,12 @@
 package spectral
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 
+	"pfg/internal/exec"
 	"pfg/internal/kmeans"
 )
 
@@ -133,7 +135,7 @@ func TestEigenvectorResidual(t *testing.T) {
 	n := len(pts)
 	g := KNNGraph(pts, 8)
 	opts := Options{Neighbors: 8, Components: 2, Seed: 7, Iterations: 500, Tolerance: 1e-12}
-	emb, err := embedFromAdjacency(g, n, opts)
+	emb, err := embedFromAdjacency(context.Background(), exec.Default(), g, n, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

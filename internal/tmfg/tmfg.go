@@ -14,13 +14,14 @@
 package tmfg
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pfg/internal/bubbletree"
+	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/matrix"
-	"pfg/internal/parallel"
 )
 
 // Result is the output of TMFG construction.
@@ -75,8 +76,14 @@ func candLess(a, b candidate) bool {
 }
 
 // Build constructs the TMFG of the n×n similarity matrix s with the given
-// prefix size (batch bound). prefix must be ≥ 1 and n ≥ 4.
+// prefix size (batch bound) on the shared default pool, without cancellation.
 func Build(s *matrix.Sym, prefix int) (*Result, error) {
+	return BuildCtx(context.Background(), exec.Default(), s, prefix)
+}
+
+// BuildCtx constructs the TMFG on the given pool, honouring cancellation at
+// batch-round boundaries. prefix must be ≥ 1 and n ≥ 4.
+func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) (*Result, error) {
 	n := s.N
 	if n < 4 {
 		return nil, fmt.Errorf("tmfg: need at least 4 vertices, have %d", n)
@@ -84,10 +91,14 @@ func Build(s *matrix.Sym, prefix int) (*Result, error) {
 	if prefix < 1 {
 		return nil, fmt.Errorf("tmfg: prefix must be ≥ 1, got %d", prefix)
 	}
-	b := newBuilder(s, prefix)
-	b.initClique()
+	b := newBuilder(ctx, pool, s, prefix)
+	if err := b.initClique(); err != nil {
+		return nil, err
+	}
 	for len(b.remaining) > 0 {
-		b.round()
+		if err := b.round(); err != nil {
+			return nil, err
+		}
 	}
 	g, err := graph.FromEdges(n, b.weightedEdges())
 	if err != nil {
@@ -103,6 +114,8 @@ func Build(s *matrix.Sym, prefix int) (*Result, error) {
 }
 
 type builder struct {
+	ctx    context.Context
+	pool   *exec.Pool
 	s      *matrix.Sym
 	prefix int
 
@@ -125,8 +138,10 @@ type builder struct {
 	cands []candidate
 }
 
-func newBuilder(s *matrix.Sym, prefix int) *builder {
+func newBuilder(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) *builder {
 	return &builder{
+		ctx:         ctx,
+		pool:        pool,
 		s:           s,
 		prefix:      prefix,
 		facesOfBest: make([][]int32, s.N),
@@ -137,20 +152,25 @@ func newBuilder(s *matrix.Sym, prefix int) *builder {
 // initClique picks the four vertices with the highest similarity row sums
 // (ties toward smaller ids), adds the 6 clique edges and 4 faces, and seeds
 // the bubble tree and gain table.
-func (b *builder) initClique() {
+func (b *builder) initClique() error {
 	n := b.s.N
 	sums := make([]float64, n)
-	parallel.ForGrain(n, 16, func(i int) { sums[i] = b.s.RowSum(i) })
+	if err := b.pool.ForGrain(b.ctx, n, 16, func(i int) { sums[i] = b.s.RowSum(i) }); err != nil {
+		return err
+	}
 	order := make([]int32, n)
 	for i := range order {
 		order[i] = int32(i)
 	}
-	parallel.Sort(order, func(a, c int32) bool {
+	err := exec.Sort(b.ctx, b.pool, order, func(a, c int32) bool {
 		if sums[a] != sums[c] {
 			return sums[a] > sums[c]
 		}
 		return a < c
 	})
+	if err != nil {
+		return err
+	}
 	copy(b.initial[:], order[:4])
 	c := b.initial
 	for i := 0; i < 4; i++ {
@@ -164,7 +184,9 @@ func (b *builder) initClique() {
 		b.remaining = append(b.remaining, v)
 	}
 	// Keep remaining sorted by id for deterministic scans.
-	parallel.Sort(b.remaining, func(a, c int32) bool { return a < c })
+	if err := exec.Sort(b.ctx, b.pool, b.remaining, func(a, c int32) bool { return a < c }); err != nil {
+		return err
+	}
 
 	b.tree = &bubbletree.Tree{
 		Nodes: []bubbletree.Node{{
@@ -187,6 +209,7 @@ func (b *builder) initClique() {
 	for fi := range b.faces {
 		b.registerBest(int32(fi))
 	}
+	return nil
 }
 
 // gainOf returns the insertion gain of vertex u into face f.
@@ -220,10 +243,17 @@ func (b *builder) registerBest(fi int32) {
 	}
 }
 
-// round executes one batch-insertion round (Lines 9–17 of Algorithm 1).
-func (b *builder) round() {
+// round executes one batch-insertion round (Lines 9–17 of Algorithm 1),
+// returning promptly with ctx.Err() when the build is cancelled.
+func (b *builder) round() error {
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
 	b.rounds++
-	batch := b.selectBatch()
+	batch, err := b.selectBatch()
+	if err != nil {
+		return err
+	}
 	if len(batch) == 0 {
 		// Cannot happen while remaining is non-empty: every alive face has
 		// a best vertex whenever remaining vertices exist.
@@ -236,7 +266,10 @@ func (b *builder) round() {
 		touched = append(touched, b.insert(c.vert, c.face)...)
 	}
 	// Remove the batch from remaining (parallel filter).
-	b.remaining = parallel.Filter(b.remaining, func(v int32) bool { return !b.inserted[v] })
+	b.remaining, err = exec.Filter(b.ctx, b.pool, b.remaining, func(v int32) bool { return !b.inserted[v] })
+	if err != nil {
+		return err
+	}
 	// Collect faces needing a new best vertex: the new faces plus alive
 	// faces whose recorded best was just inserted.
 	need := touched
@@ -249,26 +282,32 @@ func (b *builder) round() {
 		}
 		b.facesOfBest[c.vert] = nil
 	}
-	parallel.ForGrain(len(need), 1, func(i int) { b.recomputeGain(need[i]) })
+	if err := b.pool.ForGrain(b.ctx, len(need), 1, func(i int) { b.recomputeGain(need[i]) }); err != nil {
+		return err
+	}
 	for _, fi := range need {
 		b.registerBest(fi)
 	}
+	return nil
 }
 
 // selectBatch returns up to prefix (vertex, face) insertion pairs: the
 // highest-gain candidate per face, globally sorted by gain, deduplicated so
 // each vertex appears once (keeping its highest-gain pair), truncated to the
 // prefix size (Lines 9–10 of Algorithm 1).
-func (b *builder) selectBatch() []candidate {
+func (b *builder) selectBatch() ([]candidate, error) {
 	if b.prefix == 1 {
 		// Parallel maximum instead of a sort (the PREFIX=1 special case).
-		bi := parallel.MaxIndex(len(b.faces), func(i int) float64 {
+		bi, err := b.pool.MaxIndex(b.ctx, len(b.faces), func(i int) float64 {
 			f := &b.faces[i]
 			if !f.alive || f.best < 0 {
 				return math.Inf(-1)
 			}
 			return f.gain
 		})
+		if err != nil {
+			return nil, err
+		}
 		f := &b.faces[bi]
 		if !f.alive || f.best < 0 {
 			panic("tmfg: no candidate face")
@@ -285,7 +324,7 @@ func (b *builder) selectBatch() []candidate {
 				}
 			}
 		}
-		return []candidate{best}
+		return []candidate{best}, nil
 	}
 	b.cands = b.cands[:0]
 	for i := range b.faces {
@@ -294,7 +333,9 @@ func (b *builder) selectBatch() []candidate {
 			b.cands = append(b.cands, candidate{gain: f.gain, vert: f.best, face: int32(i)})
 		}
 	}
-	parallel.Sort(b.cands, candLess)
+	if err := exec.Sort(b.ctx, b.pool, b.cands, candLess); err != nil {
+		return nil, err
+	}
 	limit := b.prefix
 	if limit > len(b.cands) {
 		limit = len(b.cands)
@@ -310,7 +351,7 @@ func (b *builder) selectBatch() []candidate {
 			out = append(out, c)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // insert adds vertex v into face fi: three new edges, three new faces, one

@@ -1,10 +1,12 @@
 package pfg
 
 import (
+	"context"
 	"fmt"
 
 	"pfg/internal/core"
 	"pfg/internal/dendro"
+	"pfg/internal/exec"
 	"pfg/internal/hac"
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
@@ -54,6 +56,13 @@ type Options struct {
 	// Prefix is the TMFG batch size (default 10, the paper's sweet spot;
 	// 1 reproduces the sequential TMFG exactly).
 	Prefix int
+	// Workers bounds the number of goroutines the call may run concurrently
+	// (0 = GOMAXPROCS, via a shared process-wide pool). A positive value
+	// gives the call its own bounded worker pool, so concurrent Cluster
+	// calls with explicit budgets cannot oversubscribe the machine; 1 runs
+	// the whole pipeline sequentially and deterministically on the calling
+	// goroutine.
+	Workers int
 }
 
 // Result is a hierarchical clustering outcome.
@@ -91,43 +100,84 @@ func Pearson(series [][]float64) (*Matrix, error) { return matrix.Pearson(series
 func Dissimilarity(corr *Matrix) *Matrix { return matrix.Dissimilarity(corr) }
 
 // Cluster computes a hierarchical clustering of raw time series: Pearson
-// correlation → filtered graph (or HAC) → dendrogram.
+// correlation → filtered graph (or HAC) → dendrogram. It is
+// ClusterContext with a background (never-cancelled) context.
 func Cluster(series [][]float64, opts Options) (*Result, error) {
-	sim, dis, err := core.Correlate(series)
+	return ClusterContext(context.Background(), series, opts)
+}
+
+// ClusterContext is Cluster with cooperative cancellation: the pipeline
+// checks ctx at chunk and stage boundaries and returns ctx.Err() promptly
+// once ctx is cancelled or its deadline passes. The concurrency of the call
+// is bounded by opts.Workers (see Options).
+func ClusterContext(ctx context.Context, series [][]float64, opts Options) (*Result, error) {
+	pool, release := poolFor(opts)
+	defer release()
+	sim, dis, err := core.CorrelateCtx(ctx, pool, series)
 	if err != nil {
 		return nil, err
 	}
-	return ClusterMatrix(sim, dis, opts)
+	return clusterMatrixOn(ctx, pool, sim, dis, opts)
 }
 
 // ClusterMatrix clusters from a precomputed similarity matrix and optional
 // dissimilarity matrix (pass nil to derive it as sqrt(2(1−s))).
 func ClusterMatrix(sim, dis *Matrix, opts Options) (*Result, error) {
+	return ClusterMatrixContext(context.Background(), sim, dis, opts)
+}
+
+// ClusterMatrixContext is ClusterMatrix with cooperative cancellation and a
+// per-call worker budget, like ClusterContext.
+func ClusterMatrixContext(ctx context.Context, sim, dis *Matrix, opts Options) (*Result, error) {
+	pool, release := poolFor(opts)
+	defer release()
+	return clusterMatrixOn(ctx, pool, sim, dis, opts)
+}
+
+// poolFor maps Options.Workers to an execution pool: the shared
+// GOMAXPROCS-sized pool for 0, or a fresh bounded pool (released when the
+// call finishes) for an explicit budget.
+func poolFor(opts Options) (*exec.Pool, func()) {
+	if opts.Workers <= 0 {
+		return exec.Default(), func() {}
+	}
+	p := exec.New(opts.Workers)
+	return p, p.Close
+}
+
+func clusterMatrixOn(ctx context.Context, pool *exec.Pool, sim, dis *Matrix, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if opts.Prefix == 0 {
 		opts.Prefix = 10
 	}
 	switch opts.Method {
 	case TMFGDBHT:
-		r, err := core.TMFGDBHT(sim, dis, opts.Prefix)
+		r, err := core.TMFGDBHTCtx(ctx, pool, sim, dis, opts.Prefix)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
 	case PMFGDBHT:
-		r, err := core.PMFGDBHT(sim, dis)
+		r, err := core.PMFGDBHTCtx(ctx, pool, sim, dis)
 		if err != nil {
 			return nil, err
 		}
 		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
 	case CompleteLinkage, AverageLinkage:
 		if dis == nil {
-			dis = matrix.Dissimilarity(sim)
+			var err error
+			dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+			if err != nil {
+				return nil, err
+			}
 		}
 		linkage := hac.Complete
 		if opts.Method == AverageLinkage {
 			linkage = hac.Average
 		}
-		r, err := core.HAC(dis, linkage)
+		r, err := core.HACCtx(ctx, pool, dis, linkage)
 		if err != nil {
 			return nil, err
 		}
