@@ -1,0 +1,82 @@
+package pfg
+
+// End-to-end allocation benchmarks for the flat-memory refactor. These
+// measure the steady-state cost of repeated Cluster calls on same-shaped
+// inputs — the serving pattern the workspace pool optimizes — and are the
+// benchmarks whose numbers are recorded in BENCH_flatmem.json.
+//
+// Run with:
+//
+//	go test -bench 'BenchmarkCluster' -benchmem -run '^$' .
+
+import (
+	"fmt"
+	"testing"
+
+	"pfg/internal/tsgen"
+)
+
+// clusterBenchCases covers the paper's method (TMFG+DBHT) and the HAC
+// baseline at a small and a medium problem size.
+var clusterBenchCases = []struct {
+	method Method
+	n      int
+}{
+	{TMFGDBHT, 128},
+	{TMFGDBHT, 512},
+	{CompleteLinkage, 128},
+	{CompleteLinkage, 512},
+}
+
+func benchSeries(n int) [][]float64 {
+	ds := tsgen.GenerateClassed("flatmem", n, 96, 6, 0.6, 7)
+	return ds.Series
+}
+
+// BenchmarkCluster measures repeated sequential Cluster calls. After the
+// first call warms the workspace pool, later same-shape calls should run at
+// steady-state allocation rates (see README "Flat memory and workspaces").
+func BenchmarkCluster(b *testing.B) {
+	for _, tc := range clusterBenchCases {
+		b.Run(fmt.Sprintf("%v/n=%d", tc.method, tc.n), func(b *testing.B) {
+			series := benchSeries(tc.n)
+			opts := Options{Method: tc.method, Prefix: 10}
+			// Warm-up call so b.N iterations measure steady state.
+			if _, err := Cluster(series, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(series, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkClusterParallelCalls measures concurrent Cluster calls sharing
+// the default pool and the process-wide workspace pool — the serving
+// scenario where allocation churn turns into GC pressure.
+func BenchmarkClusterParallelCalls(b *testing.B) {
+	for _, tc := range clusterBenchCases {
+		b.Run(fmt.Sprintf("%v/n=%d", tc.method, tc.n), func(b *testing.B) {
+			series := benchSeries(tc.n)
+			opts := Options{Method: tc.method, Prefix: 10}
+			if _, err := Cluster(series, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := Cluster(series, opts); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}

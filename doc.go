@@ -26,6 +26,15 @@
 // For cancellation and per-call concurrency budgets, use ClusterContext /
 // ClusterMatrixContext with Options.Workers.
 //
+// # Memory behavior
+//
+// Every call runs on flat memory — CSR graphs and groupings, dense bitsets
+// — with scratch drawn from a pooled per-call workspace (internal/ws).
+// Repeated calls on same-shaped inputs therefore reach steady state with
+// near-zero allocation churn, which keeps GC pressure flat under heavy
+// concurrent serving; see README.md ("Flat memory and workspaces") and
+// BENCH_flatmem.json for the measured steady-state profile.
+//
 // See the examples/ directory for runnable programs and README.md for the
 // architecture overview and the context-aware API.
 package pfg

@@ -1,0 +1,113 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetTestClear(t *testing.T) {
+	s := New(200)
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+	for _, i := range []int32{0, 1, 63, 64, 65, 127, 128, 199} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set in fresh set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if s.TestAndSet(63) != true {
+		t.Fatal("TestAndSet(63) should report already-set")
+	}
+	if s.TestAndSet(64) != false {
+		t.Fatal("TestAndSet(64) should report previously-clear")
+	}
+	if !s.Test(64) {
+		t.Fatal("TestAndSet did not set bit 64")
+	}
+}
+
+func TestResetReusesAndClears(t *testing.T) {
+	s := New(128)
+	for i := int32(0); i < 128; i++ {
+		s.Set(i)
+	}
+	s.Reset(64)
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d after Reset(64)", s.Len())
+	}
+	for i := int32(0); i < 64; i++ {
+		if s.Test(i) {
+			t.Fatalf("bit %d survived Reset", i)
+		}
+	}
+	s.Reset(1024) // grow
+	for i := int32(0); i < 1024; i += 7 {
+		if s.Test(i) {
+			t.Fatalf("bit %d set after growing Reset", i)
+		}
+	}
+}
+
+func TestRangesAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 517
+	s := New(n)
+	ref := make([]bool, n)
+	for trial := 0; trial < 200; trial++ {
+		lo := int32(rng.Intn(n))
+		hi := lo + int32(rng.Intn(n-int(lo)+1))
+		if rng.Intn(2) == 0 {
+			s.SetRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				ref[i] = true
+			}
+		} else {
+			s.ClearRange(lo, hi)
+			for i := lo; i < hi; i++ {
+				ref[i] = false
+			}
+		}
+		for i := int32(0); i < n; i++ {
+			if s.Test(i) != ref[i] {
+				t.Fatalf("trial %d: bit %d = %v, want %v", trial, i, s.Test(i), ref[i])
+			}
+		}
+	}
+}
+
+func TestClearList(t *testing.T) {
+	s := New(300)
+	ids := []int32{3, 64, 65, 255, 299}
+	for _, i := range ids {
+		s.Set(i)
+	}
+	s.Set(100)
+	s.ClearList(ids)
+	if s.Count() != 1 || !s.Test(100) {
+		t.Fatalf("ClearList left wrong bits: count=%d", s.Count())
+	}
+}
+
+func TestEmptyRanges(t *testing.T) {
+	s := New(64)
+	s.SetRange(10, 10)
+	s.ClearRange(5, 2)
+	if s.Count() != 0 {
+		t.Fatal("empty ranges modified the set")
+	}
+	s.SetRange(0, 64)
+	if s.Count() != 64 {
+		t.Fatalf("SetRange(0,64) set %d bits", s.Count())
+	}
+}

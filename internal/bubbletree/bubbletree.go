@@ -10,15 +10,21 @@
 // PMFG baseline. DirectEdges implements Algorithm 3 (the linear-work interior
 // versus exterior strength computation), generalized to arbitrary bubble
 // sizes so it applies to both constructions.
+//
+// Scratch sets on these paths are dense bitsets and flat CSR groupings from
+// a ws.Workspace rather than map[int32]bool, so repeated constructions on a
+// warm workspace avoid per-call hashing and allocation.
 package bubbletree
 
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
+	"pfg/internal/bitset"
 	"pfg/internal/exec"
 	"pfg/internal/graph"
+	"pfg/internal/ws"
 )
 
 // NoVertex marks an unused vertex slot (e.g. the root's separating triangle).
@@ -50,15 +56,39 @@ type Tree struct {
 func (t *Tree) NumNodes() int { return len(t.Nodes) }
 
 // VertexBubbles returns, for each graph vertex, the sorted list of bubble
-// node ids containing it.
+// node ids containing it, as ragged slices. Hot paths use VertexBubblesInto.
 func (t *Tree) VertexBubbles(n int) [][]int32 {
+	w := ws.Get()
+	defer ws.Put(w)
+	g := w.Grouping()
+	defer w.PutGrouping(g)
+	t.VertexBubblesInto(w, g, n)
 	out := make([][]int32, n)
-	for b := range t.Nodes {
-		for _, v := range t.Nodes[b].Vertices {
-			out[v] = append(out[v], int32(b))
-		}
+	for v := range out {
+		out[v] = append([]int32(nil), g.Group(v)...)
 	}
 	return out
+}
+
+// VertexBubblesInto fills out with one group per graph vertex holding the
+// ascending bubble node ids containing it — the flat CSR form of
+// VertexBubbles, built with a two-pass count-then-fill over the nodes.
+func (t *Tree) VertexBubblesInto(w *ws.Workspace, out *ws.Grouping, n int) {
+	counts := w.Int32(n)
+	clear(counts)
+	for b := range t.Nodes {
+		for _, v := range t.Nodes[b].Vertices {
+			counts[v]++
+		}
+	}
+	cur := out.StartFromCounts(counts, counts)
+	for b := range t.Nodes {
+		for _, v := range t.Nodes[b].Vertices {
+			out.Data[cur[v]] = int32(b)
+			cur[v]++
+		}
+	}
+	w.PutInt32(counts)
 }
 
 // Validate checks structural tree invariants: parent/child consistency, a
@@ -124,25 +154,41 @@ func (t *Tree) Validate() error {
 	return nil
 }
 
+// maxVertex returns 1 + the largest graph vertex id in the tree, sizing
+// vertex-indexed bitsets without requiring g.N.
+func (t *Tree) maxVertex() int {
+	m := int32(-1)
+	for b := range t.Nodes {
+		for _, v := range t.Nodes[b].Vertices {
+			if v > m {
+				m = v
+			}
+		}
+	}
+	return int(m) + 1
+}
+
 // SubtreeVertices returns the set of graph vertices appearing in the subtree
 // rooted at b (including b itself), as a sorted slice.
 func (t *Tree) SubtreeVertices(b int32) []int32 {
-	mark := map[int32]bool{}
+	w := ws.Get()
+	defer ws.Put(w)
+	mark := w.Bitset(t.maxVertex())
+	defer w.PutBitset(mark)
+	var out []int32
 	var rec func(x int32)
 	rec = func(x int32) {
 		for _, v := range t.Nodes[x].Vertices {
-			mark[v] = true
+			if !mark.TestAndSet(v) {
+				out = append(out, v)
+			}
 		}
 		for _, c := range t.Nodes[x].Children {
 			rec(c)
 		}
 	}
 	rec(b)
-	out := make([]int32, 0, len(mark))
-	for v := range mark {
-		out = append(out, v)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -156,11 +202,14 @@ func SeparatingTriangles(g *graph.Graph) [][3]int32 {
 // SeparatingTrianglesCtx is SeparatingTriangles on an explicit pool with
 // cooperative cancellation (the per-triangle separation tests dominate).
 func SeparatingTrianglesCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) ([][3]int32, error) {
+	w := ws.Get()
+	defer ws.Put(w)
 	tris := g.Triangles()
 	sep := make([]bool, len(tris))
-	err := pool.ForGrain(ctx, len(tris), 1, func(i int) {
-		tr := tris[i]
-		sep[i] = len(g.ComponentsWithout(tr[:])) > 1
+	err := pool.ForBlocked(ctx, len(tris), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sep[i] = g.NumComponentsWithout(w, tris[i][:]) > 1
+		}
 	})
 	if err != nil {
 		return nil, err
@@ -189,6 +238,8 @@ func BuildGenericCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) (*Tre
 	if g.N < 3 {
 		return nil, fmt.Errorf("bubbletree: graph too small (n=%d)", g.N)
 	}
+	w := ws.Get()
+	defer ws.Put(w)
 	sepTris, err := SeparatingTrianglesCtx(ctx, pool, g)
 	if err != nil {
 		return nil, err
@@ -218,23 +269,37 @@ func BuildGenericCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) (*Tre
 			splitErr = err
 			return
 		}
-		inPiece := make(map[int32]bool, len(verts))
+		inPiece := w.Bitset(g.N)
 		for _, v := range verts {
-			inPiece[v] = true
+			inPiece.Set(v)
 		}
 		// Find a separating triangle of g inside this piece that also
 		// separates the piece.
 		for _, tr := range sepTris {
-			if !inPiece[tr[0]] || !inPiece[tr[1]] || !inPiece[tr[2]] {
+			if !inPiece.Test(tr[0]) || !inPiece.Test(tr[1]) || !inPiece.Test(tr[2]) {
 				continue
 			}
-			comps := inducedComponentsWithout(g, verts, tr)
-			if len(comps) < 2 {
+			comps := w.Grouping()
+			inducedComponentsWithoutInto(g, w, comps, inPiece, verts, tr)
+			if comps.NumGroups() < 2 {
+				w.PutGrouping(comps)
 				continue
 			}
-			for _, comp := range comps {
-				side := append(append([]int32{}, comp...), tr[0], tr[1], tr[2])
-				sort.Slice(side, func(i, j int) bool { return side[i] < side[j] })
+			// Materialize the sides before recursing: the grouping and
+			// bitset return to the workspace first so the recursion depth
+			// doesn't hold one of each per level.
+			sides := make([][]int32, comps.NumGroups())
+			for k := range sides {
+				comp := comps.Group(k)
+				side := make([]int32, 0, len(comp)+3)
+				side = append(side, comp...)
+				side = append(side, tr[0], tr[1], tr[2])
+				slices.Sort(side)
+				sides[k] = side
+			}
+			w.PutGrouping(comps)
+			w.PutBitset(inPiece)
+			for _, side := range sides {
 				split(side)
 			}
 			return
@@ -243,11 +308,12 @@ func BuildGenericCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) (*Tre
 		// which global separating triangles it contains (its boundary).
 		b := bubble{verts: verts}
 		for _, tr := range sepTris {
-			if inPiece[tr[0]] && inPiece[tr[1]] && inPiece[tr[2]] {
+			if inPiece.Test(tr[0]) && inPiece.Test(tr[1]) && inPiece.Test(tr[2]) {
 				b.tris = append(b.tris, tr)
 			}
 		}
 		bubbles = append(bubbles, b)
+		w.PutBitset(inPiece)
 	}
 	split(all)
 	if splitErr != nil {
@@ -307,42 +373,41 @@ func BuildGenericCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph) (*Tre
 	return t, nil
 }
 
-// inducedComponentsWithout returns the connected components of the subgraph
-// induced on verts minus the triangle corners.
-func inducedComponentsWithout(g *graph.Graph, verts []int32, tr [3]int32) [][]int32 {
-	in := make(map[int32]bool, len(verts))
-	for _, v := range verts {
-		in[v] = true
-	}
-	in[tr[0]], in[tr[1]], in[tr[2]] = false, false, false
-	comp := make(map[int32]int32)
-	var comps [][]int32
+// inducedComponentsWithoutInto appends the connected components of the
+// subgraph induced on verts minus the triangle corners to out. inPiece must
+// be the membership bitset of verts; the triangle corners are temporarily
+// cleared and restored before returning. Components are found by
+// bitset-visited BFS over a flat queue.
+func inducedComponentsWithoutInto(g *graph.Graph, w *ws.Workspace, out *ws.Grouping, inPiece *bitset.Set, verts []int32, tr [3]int32) {
+	inPiece.Clear(tr[0])
+	inPiece.Clear(tr[1])
+	inPiece.Clear(tr[2])
+	visited := w.Bitset(g.N)
+	queue := w.Int32(len(verts))
 	for _, s := range verts {
-		if !in[s] {
+		if !inPiece.Test(s) || visited.Test(s) {
 			continue
 		}
-		if _, ok := comp[s]; ok {
-			continue
-		}
-		id := int32(len(comps))
-		var members []int32
-		queue := []int32{s}
-		comp[s] = id
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			members = append(members, v)
+		visited.Set(s)
+		queue[0] = s
+		qh, qt := 0, 1
+		for qh < qt {
+			v := queue[qh]
+			qh++
+			out.Append(v)
 			adj, _ := g.Neighbors(v)
 			for _, u := range adj {
-				if in[u] {
-					if _, ok := comp[u]; !ok {
-						comp[u] = id
-						queue = append(queue, u)
-					}
+				if inPiece.Test(u) && !visited.TestAndSet(u) {
+					queue[qt] = u
+					qt++
 				}
 			}
 		}
-		comps = append(comps, members)
+		out.EndGroup()
 	}
-	return comps
+	w.PutInt32(queue)
+	w.PutBitset(visited)
+	inPiece.Set(tr[0])
+	inPiece.Set(tr[1])
+	inPiece.Set(tr[2])
 }

@@ -338,7 +338,7 @@ func TestReachableConverging(t *testing.T) {
 			if d.OutDeg[x] == 0 {
 				want[x] = true
 			}
-			for _, y := range d.outNeighbors(x) {
+			for _, y := range d.appendOutNeighbors(x, nil) {
 				dfs(y)
 			}
 		}

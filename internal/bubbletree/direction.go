@@ -2,10 +2,12 @@ package bubbletree
 
 import (
 	"context"
-	"sort"
+	"slices"
 
+	"pfg/internal/bitset"
 	"pfg/internal/exec"
 	"pfg/internal/graph"
+	"pfg/internal/ws"
 )
 
 // Directed augments a bubble tree with edge directions computed by
@@ -82,12 +84,17 @@ func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph
 		return [3]float64{}
 	}
 	node := &d.Tree.Nodes[b]
-	childRes := make([][3]float64, len(node.Children))
+	// Most TMFG bubbles have at most one child; keep their result in a
+	// plain value and only fan out (and allocate the result slice) for
+	// wider nodes.
+	var singleRes [3]float64
+	var childRes [][3]float64 // nil when ≤ 1 child
 	switch len(node.Children) {
 	case 0:
 	case 1:
-		childRes[0] = d.visit(ctx, pool, node.Children[0], g, wdeg)
+		singleRes = d.visit(ctx, pool, node.Children[0], g, wdeg)
 	default:
+		childRes = make([][3]float64, len(node.Children))
 		fs := make([]func(), len(node.Children))
 		for i := range node.Children {
 			i := i
@@ -116,11 +123,15 @@ func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph
 	// edge from a corner into a child's interior has its corner on the
 	// child's separating triangle, so the child's r covers it exactly.
 	for ci, c := range node.Children {
+		cr := singleRes
+		if childRes != nil {
+			cr = childRes[ci]
+		}
 		csep := d.Tree.Nodes[c].Sep
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {
 				if csep[i] == sep[j] {
-					r[j] += childRes[ci][i]
+					r[j] += cr[i]
 				}
 			}
 		}
@@ -137,60 +148,121 @@ func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph
 	return r
 }
 
-// Neighbors returns the directed out-neighbors of node b in the directed
-// bubble tree.
-func (d *Directed) outNeighbors(b int32) []int32 {
-	var out []int32
+// appendOutNeighbors appends the directed out-neighbors of node b to buf.
+func (d *Directed) appendOutNeighbors(b int32, buf []int32) []int32 {
 	node := &d.Tree.Nodes[b]
 	if node.Parent >= 0 && !d.DirDown[b] {
-		out = append(out, node.Parent)
+		buf = append(buf, node.Parent)
 	}
 	for _, c := range node.Children {
 		if d.DirDown[c] {
-			out = append(out, c)
+			buf = append(buf, c)
 		}
 	}
-	return out
+	return buf
 }
 
 // ReachableConverging returns, for every bubble node, the ascending list of
 // converging-bubble node ids reachable from it by following directed edges
 // (Lines 5–6 of Algorithm 4), on the shared default pool.
 func (d *Directed) ReachableConverging() [][]int32 {
-	out, _ := d.ReachableConvergingCtx(context.Background(), exec.Default())
+	w := ws.Get()
+	defer ws.Put(w)
+	g, err := d.ReachableConvergingWS(context.Background(), exec.Default(), w)
+	if err != nil {
+		return nil
+	}
+	defer w.PutGrouping(g)
+	out := make([][]int32, g.NumGroups())
+	for b := range out {
+		out[b] = append([]int32(nil), g.Group(b)...)
+	}
 	return out
 }
 
-// ReachableConvergingCtx is ReachableConverging on an explicit pool with
-// cooperative cancellation; each per-node BFS runs as a pool chunk.
-func (d *Directed) ReachableConvergingCtx(ctx context.Context, pool *exec.Pool) ([][]int32, error) {
-	n := len(d.Tree.Nodes)
-	out := make([][]int32, n)
-	isConv := make([]bool, n)
-	for _, c := range d.Converging {
-		isConv[c] = true
-	}
-	err := pool.ForGrain(ctx, n, 1, func(start int) {
-		visited := map[int32]bool{int32(start): true}
-		queue := []int32{int32(start)}
-		var reach []int32
-		for len(queue) > 0 {
-			x := queue[0]
-			queue = queue[1:]
-			if isConv[x] {
-				reach = append(reach, x)
-			}
-			for _, y := range d.outNeighbors(x) {
-				if !visited[y] {
-					visited[y] = true
-					queue = append(queue, y)
-				}
+// walkConverging runs the directed BFS from start using the caller's
+// visited bitset and queue scratch, calling emit for every reachable
+// converging node (start included when converging). The bitset is restored
+// to all-clear before returning, so one bitset serves many starts.
+func (d *Directed) walkConverging(start int32, isConv, visited *bitset.Set, queue []int32, emit func(int32)) {
+	visited.Set(start)
+	queue[0] = start
+	qh, qt := 0, 1
+	for qh < qt {
+		x := queue[qh]
+		qh++
+		if isConv.Test(x) {
+			emit(x)
+		}
+		node := &d.Tree.Nodes[x]
+		if node.Parent >= 0 && !d.DirDown[x] && !visited.TestAndSet(node.Parent) {
+			queue[qt] = node.Parent
+			qt++
+		}
+		for _, c := range node.Children {
+			if d.DirDown[c] && !visited.TestAndSet(c) {
+				queue[qt] = c
+				qt++
 			}
 		}
-		sort.Slice(reach, func(i, j int) bool { return reach[i] < reach[j] })
-		out[start] = reach
+	}
+	visited.ClearList(queue[:qt])
+}
+
+// ReachableConvergingWS computes the reachable-converging sets as a flat
+// grouping (group b = ascending converging node ids reachable from b),
+// drawn from the workspace; release with w.PutGrouping. The per-node BFS
+// (walkConverging) runs twice — a parallel counting pass sizes the CSR
+// offsets, then a parallel fill pass writes each node's disjoint segment —
+// with each worker block reusing one visited bitset and one flat queue
+// across its nodes.
+func (d *Directed) ReachableConvergingWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace) (*ws.Grouping, error) {
+	n := len(d.Tree.Nodes)
+	isConv := w.Bitset(n)
+	for _, c := range d.Converging {
+		isConv.Set(c)
+	}
+	counts := w.Int32(n)
+	err := pool.ForBlocked(ctx, n, 1, func(lo, hi int) {
+		visited := w.Bitset(n)
+		queue := w.Int32(n)
+		cnt := int32(0)
+		count := func(int32) { cnt++ }
+		for start := lo; start < hi; start++ {
+			cnt = 0
+			d.walkConverging(int32(start), isConv, visited, queue, count)
+			counts[start] = cnt
+		}
+		w.PutInt32(queue)
+		w.PutBitset(visited)
 	})
 	if err != nil {
+		w.PutInt32(counts)
+		w.PutBitset(isConv)
+		return nil, err
+	}
+	out := w.Grouping()
+	cur := out.StartFromCounts(counts, counts)
+	err = pool.ForBlocked(ctx, n, 1, func(lo, hi int) {
+		visited := w.Bitset(n)
+		queue := w.Int32(n)
+		at := int32(0)
+		write := func(x int32) {
+			out.Data[at] = x
+			at++
+		}
+		for start := lo; start < hi; start++ {
+			at = cur[start]
+			d.walkConverging(int32(start), isConv, visited, queue, write)
+			slices.Sort(out.Group(start))
+		}
+		w.PutInt32(queue)
+		w.PutBitset(visited)
+	})
+	w.PutInt32(counts)
+	w.PutBitset(isConv)
+	if err != nil {
+		w.PutGrouping(out)
 		return nil, err
 	}
 	return out, nil

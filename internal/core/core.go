@@ -19,6 +19,7 @@ import (
 	"pfg/internal/pmfg"
 	"pfg/internal/spectral"
 	"pfg/internal/tmfg"
+	"pfg/internal/ws"
 )
 
 // Breakdown is the per-stage wall-clock decomposition of a filtered-graph
@@ -59,37 +60,60 @@ func TMFGDBHT(sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
 // rounds, APSP, DBHT assignment, hierarchy) runs within the pool's worker
 // budget and aborts with ctx.Err() once ctx is cancelled.
 func TMFGDBHTCtx(ctx context.Context, pool *exec.Pool, sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return TMFGDBHTWS(ctx, pool, w, sim, dis, prefix)
+}
+
+// TMFGDBHTWS is TMFGDBHTCtx with explicit workspace scratch: the derived
+// dissimilarity matrix (when dis is nil), the TMFG's CSR arrays, the APSP
+// matrix, and every per-stage scratch buffer are drawn from and returned to
+// w, so repeated same-shape runs on a warm workspace perform only the
+// allocations that escape into the Result.
+func TMFGDBHTWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim *matrix.Sym, dis *matrix.Sym, prefix int) (*Result, error) {
 	start := time.Now()
 	var bd Breakdown
+	ownDis := false
 	if dis == nil {
 		var err error
-		dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+		dis, err = matrix.DissimilarityWS(ctx, pool, w, sim)
 		if err != nil {
 			return nil, err
 		}
+		ownDis = true
 	}
 	t0 := time.Now()
-	tm, err := tmfg.BuildCtx(ctx, pool, sim, prefix)
+	tm, err := tmfg.BuildWS(ctx, pool, w, sim, prefix)
 	if err != nil {
+		if ownDis {
+			dis.Release(w)
+		}
 		return nil, err
 	}
 	bd.Graph = time.Since(t0)
-	res, err := dbht.BuildCtx(ctx, pool, tm.Graph, tm.Tree, dis)
+	res, err := dbht.BuildWS(ctx, pool, w, tm.Graph, tm.Tree, dis, dbht.Options{})
+	if ownDis {
+		dis.Release(w)
+	}
 	if err != nil {
 		return nil, err
 	}
-	bd.APSP = res.Timings.APSP
-	bd.BubbleTree = res.Timings.Direction + res.Timings.Assign
-	bd.Hierarchy = res.Timings.Hierarchy
-	bd.Total = time.Since(start)
-	return &Result{
+	out := &Result{
 		Dendrogram:    res.Dendrogram,
 		GraphEdges:    tm.Graph.NumEdges(),
 		EdgeWeightSum: tm.EdgeWeightSum(sim),
 		Groups:        len(res.Groups),
-		Timings:       bd,
 		DBHT:          res,
-	}, nil
+	}
+	// The filtered graph is internal to the pipeline: nothing in Result
+	// references it, so its CSR arrays go back to the workspace.
+	tm.Graph.Release(w)
+	bd.APSP = res.Timings.APSP
+	bd.BubbleTree = res.Timings.Direction + res.Timings.Assign
+	bd.Hierarchy = res.Timings.Hierarchy
+	bd.Total = time.Since(start)
+	out.Timings = bd
+	return out, nil
 }
 
 // PMFGDBHT runs the baseline pipeline: sequential PMFG, the original
@@ -149,8 +173,19 @@ func HAC(dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
 // HACCtx is HAC on an explicit pool with cooperative cancellation, checked
 // once per NN-chain merge.
 func HACCtx(ctx context.Context, pool *exec.Pool, dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return HACWS(ctx, pool, w, dis, linkage)
+}
+
+// HACWS is HACCtx with explicit workspace scratch: the NN-chain's working
+// copy of the matrix comes from the workspace instead of a fresh append.
+func HACWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, dis *matrix.Sym, linkage hac.Linkage) (*Result, error) {
 	start := time.Now()
-	d, err := hac.RunMatrixCtx(ctx, pool, dis.N, append([]float64{}, dis.Data...), linkage)
+	buf := w.Float64(len(dis.Data))
+	copy(buf, dis.Data)
+	d, err := hac.RunMatrixWS(ctx, pool, w, dis.N, buf, linkage)
+	w.PutFloat64(buf)
 	if err != nil {
 		return nil, err
 	}
@@ -169,12 +204,23 @@ func Correlate(series [][]float64) (sim, dis *matrix.Sym, err error) {
 // CorrelateCtx is Correlate on an explicit pool with cooperative
 // cancellation at row-block boundaries.
 func CorrelateCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (sim, dis *matrix.Sym, err error) {
-	sim, err = matrix.PearsonCtx(ctx, pool, series)
+	w := ws.Get()
+	defer ws.Put(w)
+	return CorrelateWS(ctx, pool, w, series)
+}
+
+// CorrelateWS is CorrelateCtx with workspace-backed results: both matrices
+// draw their backing arrays from w, and callers that control their lifetime
+// (pfg.ClusterContext) release them back with Sym.Release once clustering
+// is done.
+func CorrelateWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (sim, dis *matrix.Sym, err error) {
+	sim, err = matrix.PearsonWS(ctx, pool, w, series)
 	if err != nil {
 		return nil, nil, err
 	}
-	dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+	dis, err = matrix.DissimilarityWS(ctx, pool, w, sim)
 	if err != nil {
+		sim.Release(w)
 		return nil, nil, err
 	}
 	return sim, dis, nil

@@ -12,13 +12,17 @@
 //  4. Build a three-level complete-linkage hierarchy (intra-bubble →
 //     inter-bubble → inter-group) with shortest-path distances, and assign
 //     the height scheme of the reference implementation.
+//
+// The pipeline runs on flat memory end to end: vertex→bubble membership and
+// reachability sets are CSR groupings, candidate/membership scratch is
+// bitsets, and the APSP matrix plus every intermediate buffer comes from
+// (and returns to) the call's ws.Workspace.
 package dbht
 
 import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 	"time"
 
 	"pfg/internal/bubbletree"
@@ -26,6 +30,7 @@ import (
 	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/matrix"
+	"pfg/internal/ws"
 )
 
 // Timings records the per-stage wall-clock breakdown (Figure 5's stages:
@@ -84,10 +89,19 @@ func BuildWithOptions(g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, op
 }
 
 // BuildWithOptionsCtx runs DBHT with explicit variant options on an explicit
-// pool. Each stage (direction, APSP, assignment, hierarchy) runs its
-// parallel loops on the pool and aborts with ctx.Err() once the context is
-// cancelled.
+// pool, with a workspace from the process-wide pool.
 func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, opts Options) (*Result, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return BuildWS(ctx, pool, w, g, tree, dis, opts)
+}
+
+// BuildWS is BuildWithOptionsCtx with explicit workspace scratch. Each stage
+// (direction, APSP, assignment, hierarchy) runs its parallel loops on the
+// pool and aborts with ctx.Err() once the context is cancelled; every
+// transient buffer (the dissimilarity-weighted graph, the APSP matrix, the
+// flat membership and reachability sets) is drawn from and returned to w.
+func BuildWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, g *graph.Graph, tree *bubbletree.Tree, dis *matrix.Sym, opts Options) (*Result, error) {
 	n := g.N
 	if dis.N != n {
 		return nil, fmt.Errorf("dbht: dissimilarity matrix is %d×%d, graph has %d vertices", dis.N, dis.N, n)
@@ -107,13 +121,11 @@ func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, t
 	res.Timings.Direction = time.Since(t0)
 
 	// All-pairs shortest paths on the filtered graph with dissimilarity
-	// edge weights.
+	// edge weights. The re-weighted graph shares g's CSR topology.
 	t0 = time.Now()
-	dg, err := dissimilarityGraph(g, dis)
-	if err != nil {
-		return nil, err
-	}
-	apsp, err := dg.AllPairsShortestPathsCtx(ctx, pool)
+	dg := g.WithWeights(w, func(u, v int32) float64 { return dis.At(int(u), int(v)) })
+	apsp, err := dg.AllPairsShortestPathsWS(ctx, pool, w)
+	dg.ReleaseWeights(w)
 	if err != nil {
 		return nil, err
 	}
@@ -121,8 +133,9 @@ func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, t
 
 	// Vertex assignments.
 	t0 = time.Now()
-	group, bubble, groups, err := assign(ctx, pool, g, tree, dir, apsp, opts)
+	group, bubble, groups, err := assign(ctx, pool, w, g, tree, dir, apsp, opts)
 	if err != nil {
+		w.PutFloat64(apsp.Dist)
 		return nil, err
 	}
 	res.Group, res.Bubble, res.Groups = group, bubble, groups
@@ -130,7 +143,8 @@ func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, t
 
 	// Hierarchy.
 	t0 = time.Now()
-	dnd, err := buildHierarchy(ctx, pool, n, group, bubble, groups, apsp)
+	dnd, err := buildHierarchy(ctx, pool, w, n, group, bubble, groups, apsp)
+	w.PutFloat64(apsp.Dist)
 	if err != nil {
 		return nil, err
 	}
@@ -139,24 +153,18 @@ func BuildWithOptionsCtx(ctx context.Context, pool *exec.Pool, g *graph.Graph, t
 	return res, nil
 }
 
-// dissimilarityGraph rebuilds g's topology with dissimilarity edge weights.
-func dissimilarityGraph(g *graph.Graph, dis *matrix.Sym) (*graph.Graph, error) {
-	edges := g.Edges()
-	for i := range edges {
-		edges[i].W = dis.At(int(edges[i].U), int(edges[i].V))
-	}
-	return graph.FromEdges(g.N, edges)
-}
-
 // assign computes the group (converging bubble) and bubble assignment of
 // every vertex (Lines 2–23 of Algorithm 4).
-func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, apsp *graph.APSP, opts Options) (group, bubble []int32, groups []int32, err error) {
+func assign(ctx context.Context, pool *exec.Pool, w *ws.Workspace, g *graph.Graph, tree *bubbletree.Tree, dir *bubbletree.Directed, apsp *graph.APSP, opts Options) (group, bubble []int32, groups []int32, err error) {
 	n := g.N
 	nb := tree.NumNodes()
-	vertexBubbles := tree.VertexBubbles(n)
-	isConv := make([]bool, nb)
+	vb := w.Grouping()
+	defer w.PutGrouping(vb)
+	tree.VertexBubblesInto(w, vb, n)
+	isConv := w.Bitset(nb)
+	defer w.PutBitset(isConv)
 	for _, c := range dir.Converging {
-		isConv[c] = true
+		isConv.Set(c)
 	}
 
 	// χ(v, b) = Σ_{u∈b} w(u,v) / (3(|b|−2)); for TMFG bubbles the
@@ -177,16 +185,14 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 	}
 
 	// First pass: vertices contained in at least one converging bubble.
+	// group and bubble escape into the Result and stay plainly allocated.
 	group = make([]int32, n)
-	for v := range group {
-		group[v] = -1
-	}
 	err = pool.ForGrain(ctx, n, 64, func(vi int) {
 		v := int32(vi)
 		best := int32(-1)
 		bestChi := math.Inf(-1)
-		for _, b := range vertexBubbles[v] {
-			if !isConv[b] {
+		for _, b := range vb.Group(vi) {
+			if !isConv.Test(b) {
 				continue
 			}
 			if c := chi(v, b); c > bestChi || (c == bestChi && b < best) {
@@ -199,72 +205,98 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 		return nil, nil, nil, err
 	}
 
-	// V⁰_b: vertices assigned per converging bubble so far.
-	v0 := make(map[int32][]int32)
-	for v := int32(0); int(v) < n; v++ {
+	// V⁰_b: vertices assigned per converging bubble so far, as a flat
+	// grouping over all nb bubble ids (non-converging groups stay empty).
+	counts := w.Int32(nb)
+	clear(counts)
+	for v := 0; v < n; v++ {
 		if b := group[v]; b >= 0 {
-			v0[b] = append(v0[b], v)
+			counts[b]++
 		}
 	}
+	v0 := w.Grouping()
+	defer w.PutGrouping(v0)
+	cur := v0.StartFromCounts(counts, counts)
+	for v := 0; v < n; v++ {
+		if b := group[v]; b >= 0 {
+			v0.Data[cur[b]] = int32(v)
+			cur[b]++
+		}
+	}
+	w.PutInt32(counts)
 
 	// Reachability from each bubble to converging bubbles (Lines 5–6).
-	reach, err := dir.ReachableConvergingCtx(ctx, pool)
+	reach, err := dir.ReachableConvergingWS(ctx, pool, w)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	defer w.PutGrouping(reach)
 
 	// Second pass: unassigned vertices minimize the mean shortest-path
 	// distance L̄(v,b) over reachable converging bubbles with non-empty V⁰.
-	failed := make([]bool, n)
-	err = pool.ForGrain(ctx, n, 16, func(vi int) {
-		v := int32(vi)
-		if group[v] >= 0 {
-			return
-		}
-		// Candidate converging bubbles reachable from any bubble of v.
-		cand := map[int32]bool{}
-		for _, b := range vertexBubbles[v] {
-			for _, c := range reach[b] {
-				cand[c] = true
+	// Each worker block dedups candidates with one bitset and a flat list.
+	failed := w.Int32(n)
+	defer w.PutInt32(failed)
+	clear(failed)
+	err = pool.ForBlocked(ctx, n, 16, func(lo, hi int) {
+		seen := w.Bitset(nb)
+		cands := w.Int32(nb)
+		for vi := lo; vi < hi; vi++ {
+			v := int32(vi)
+			if group[v] >= 0 {
+				continue
 			}
-		}
-		best := int32(-1)
-		bestL := math.Inf(1)
-		consider := func(c int32) {
-			members := v0[c]
-			if len(members) == 0 {
-				return
+			// Candidate converging bubbles reachable from any bubble of v.
+			nc := 0
+			for _, b := range vb.Group(vi) {
+				for _, c := range reach.Group(int(b)) {
+					if !seen.TestAndSet(c) {
+						cands[nc] = c
+						nc++
+					}
+				}
 			}
-			s := 0.0
-			for _, u := range members {
-				s += apsp.At(u, v)
+			best := int32(-1)
+			bestL := math.Inf(1)
+			consider := func(c int32) {
+				members := v0.Group(int(c))
+				if len(members) == 0 {
+					return
+				}
+				s := 0.0
+				for _, u := range members {
+					s += apsp.At(u, v)
+				}
+				l := s / float64(len(members))
+				if l < bestL || (l == bestL && c < best) {
+					bestL, best = l, c
+				}
 			}
-			l := s / float64(len(members))
-			if l < bestL || (l == bestL && c < best) {
-				bestL, best = l, c
-			}
-		}
-		for c := range cand {
-			consider(c)
-		}
-		if best < 0 {
-			// All reachable converging bubbles were empty; fall back to
-			// every converging bubble (at least one is non-empty).
-			for _, c := range dir.Converging {
+			for _, c := range cands[:nc] {
 				consider(c)
 			}
+			seen.ClearList(cands[:nc])
+			if best < 0 {
+				// All reachable converging bubbles were empty; fall back to
+				// every converging bubble (at least one is non-empty).
+				for _, c := range dir.Converging {
+					consider(c)
+				}
+			}
+			if best < 0 {
+				failed[v] = 1
+				continue
+			}
+			group[v] = best
 		}
-		if best < 0 {
-			failed[v] = true
-			return
-		}
-		group[v] = best
+		w.PutInt32(cands)
+		w.PutBitset(seen)
 	})
 	if err != nil {
 		return nil, nil, nil, err
 	}
 	for v, f := range failed {
-		if f {
+		if f != 0 {
 			return nil, nil, nil, fmt.Errorf("dbht: vertex %d could not be assigned to a group", v)
 		}
 	}
@@ -272,7 +304,8 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 	// Bubble assignment: χ′(v,b) = Σ_{u∈b} w(u,v) / Σ_{u',v'∈b} w(u',v').
 	// Following the reference implementation (and the paper's footnote),
 	// every vertex is (re)assigned, including converging-bubble members.
-	bubbleWeight := make([]float64, nb)
+	bubbleWeight := w.Float64(nb)
+	defer w.PutFloat64(bubbleWeight)
 	err = pool.ForGrain(ctx, nb, 32, func(bi int) {
 		node := &tree.Nodes[bi]
 		s := 0.0
@@ -294,7 +327,7 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 		if opts.PaperAssignment {
 			// Footnote-2 textual variant: converging-bubble members stay in
 			// their group's bubble.
-			for _, b := range vertexBubbles[v] {
+			for _, b := range vb.Group(vi) {
 				if b == group[v] {
 					bubble[v] = b
 					return
@@ -303,7 +336,7 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 		}
 		best := int32(-1)
 		bestChi := math.Inf(-1)
-		for _, b := range vertexBubbles[v] {
+		for _, b := range vb.Group(vi) {
 			node := &tree.Nodes[b]
 			s := 0.0
 			for _, u := range node.Vertices {
@@ -328,14 +361,21 @@ func assign(ctx context.Context, pool *exec.Pool, g *graph.Graph, tree *bubbletr
 		return nil, nil, nil, err
 	}
 
-	// Distinct groups, ascending.
-	seen := map[int32]bool{}
+	// Distinct groups, ascending (group ids index bubbles, so one bitset
+	// pass replaces the map + sort).
+	distinct := w.Bitset(nb)
+	defer w.PutBitset(distinct)
+	ng := 0
 	for _, b := range group {
-		seen[b] = true
+		if !distinct.TestAndSet(b) {
+			ng++
+		}
 	}
-	for b := range seen {
-		groups = append(groups, b)
+	groups = make([]int32, 0, ng)
+	for b := int32(0); int(b) < nb; b++ {
+		if distinct.Test(b) {
+			groups = append(groups, b)
+		}
 	}
-	sort.Slice(groups, func(i, j int) bool { return groups[i] < groups[j] })
 	return group, bubble, groups, nil
 }

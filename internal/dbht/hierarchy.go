@@ -4,12 +4,13 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"pfg/internal/dendro"
 	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/hac"
+	"pfg/internal/ws"
 )
 
 // mergeKind labels where a dendrogram merge was created (Lines 28, 30, 31
@@ -37,33 +38,34 @@ type localResult struct {
 }
 
 // buildHierarchy implements Lines 24–33 of Algorithm 4 plus the height
-// scheme of the Aste reference implementation. The per-subgroup and
-// per-group linkage runs nest on the same pool.
-func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
-	// Partition vertices into subgroups keyed by (group, bubble).
-	type sgKey struct{ g, b int32 }
-	subgroups := map[sgKey][]int32{}
-	groupVerts := map[int32][]int32{}
-	for v := int32(0); int(v) < n; v++ {
-		k := sgKey{group[v], bubble[v]}
-		subgroups[k] = append(subgroups[k], v)
-		groupVerts[group[v]] = append(groupVerts[group[v]], v)
+// scheme of the Aste reference implementation. Vertices are partitioned
+// into (group, bubble) subgroups by one flat sort — the boundaries of the
+// sorted order are the subgroups, so no map-keyed accumulation is needed —
+// and the per-subgroup and per-group linkage runs nest on the same pool.
+func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
+	// ord holds all vertices sorted by (group, bubble, id); every subgroup
+	// and every group is a contiguous run.
+	ord := w.Int32(n)
+	defer w.PutInt32(ord)
+	for i := range ord {
+		ord[i] = int32(i)
 	}
-	// Deterministic subgroup ordering: by group, then bubble.
-	type sgEntry struct {
-		key   sgKey
-		verts []int32
-	}
-	perGroup := map[int32][]sgEntry{}
-	for k, vs := range subgroups {
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		perGroup[k.g] = append(perGroup[k.g], sgEntry{key: k, verts: vs})
-	}
-	for _, es := range perGroup {
-		sort.Slice(es, func(i, j int) bool { return es[i].key.b < es[j].key.b })
+	sortBuf := w.Int32(n)
+	defer w.PutInt32(sortBuf)
+	err := exec.SortWithBuf(ctx, pool, ord, sortBuf, func(a, b int32) bool {
+		if group[a] != group[b] {
+			return group[a] < group[b]
+		}
+		if bubble[a] != bubble[b] {
+			return bubble[a] < bubble[b]
+		}
+		return a < b
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	gb := &globalBuilder{n: n}
+	gb := &globalBuilder{n: n, w: w}
 	vdist := func(a, b int32) float64 { return apsp.At(a, b) }
 	setDist := func(a, b []int32) float64 {
 		best := math.Inf(-1)
@@ -78,23 +80,28 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble [
 	}
 
 	// Line 25–28: complete linkage within every subgroup, in parallel.
+	// Subgroups are the (group, bubble) runs of ord, in ascending order.
 	type sgJob struct {
 		g, b  int32
 		verts []int32
 		res   localResult
+		err   error
 	}
 	var jobs []*sgJob
-	for _, gid := range groups {
-		for _, e := range perGroup[gid] {
-			jobs = append(jobs, &sgJob{g: gid, b: e.key.b, verts: e.verts})
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		v := ord[lo]
+		for hi < n && group[ord[hi]] == group[v] && bubble[ord[hi]] == bubble[v] {
+			hi++
 		}
+		jobs = append(jobs, &sgJob{g: group[v], b: bubble[v], verts: ord[lo:hi]})
+		lo = hi
 	}
-	jobErrs := make([]error, len(jobs))
-	err := pool.ForGrain(ctx, len(jobs), 1, func(i int) {
+	err = pool.ForGrain(ctx, len(jobs), 1, func(i int) {
 		j := jobs[i]
-		d, err := hac.RunCtx(ctx, pool, len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
+		d, err := hac.RunWS(ctx, pool, w, len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
 		if err != nil {
-			jobErrs[i] = err
+			j.err = err
 			return
 		}
 		j.res = localResult{dnd: d, items: j.verts}
@@ -102,38 +109,56 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble [
 	if err != nil {
 		return nil, err
 	}
-	for _, err := range jobErrs {
-		if err != nil {
-			return nil, err
+	for _, j := range jobs {
+		if j.err != nil {
+			return nil, j.err
 		}
 	}
-	// Stitch subgroup dendrograms deterministically.
-	subgroupRoot := map[sgKey]int32{}
-	for _, j := range jobs {
-		root := gb.appendLocal(j.res, mergeMeta{kind: intraBubble, group: j.g, bubble: j.b})
-		subgroupRoot[sgKey{j.g, j.b}] = root
+	// Stitch subgroup dendrograms deterministically; jobs are already in
+	// (group, bubble) order.
+	subgroupRoot := make([]int32, len(jobs))
+	for i, j := range jobs {
+		subgroupRoot[i] = gb.appendLocal(j.res, mergeMeta{kind: intraBubble, group: j.g, bubble: j.b})
 	}
 
 	// Line 29–30: complete linkage across subgroups within each group.
 	type grpJob struct {
 		g     int32
+		verts []int32 // all vertices of the group (a run of ord)
 		sets  [][]int32
 		roots []int32
 		res   localResult
+		err   error
 	}
 	var gjobs []*grpJob
-	for _, gid := range groups {
-		j := &grpJob{g: gid}
-		for _, e := range perGroup[gid] {
-			j.sets = append(j.sets, e.verts)
-			j.roots = append(j.roots, subgroupRoot[e.key])
+	for lo := 0; lo < len(jobs); {
+		hi := lo + 1
+		for hi < len(jobs) && jobs[hi].g == jobs[lo].g {
+			hi++
+		}
+		j := &grpJob{g: jobs[lo].g}
+		for k := lo; k < hi; k++ {
+			j.sets = append(j.sets, jobs[k].verts)
+			j.roots = append(j.roots, subgroupRoot[k])
 		}
 		gjobs = append(gjobs, j)
+		lo = hi
+	}
+	// Group vertex runs are contiguous in ord: each group's run is the
+	// concatenation of its subgroup runs.
+	at := 0
+	for _, j := range gjobs {
+		size := 0
+		for _, s := range j.sets {
+			size += len(s)
+		}
+		j.verts = ord[at : at+size]
+		at += size
 	}
 	gjobErrs := make([]error, len(gjobs))
 	err = pool.ForGrain(ctx, len(gjobs), 1, func(i int) {
 		j := gjobs[i]
-		d, err := hac.RunCtx(ctx, pool, len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
+		d, err := hac.RunWS(ctx, pool, w, len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
 		if err != nil {
 			gjobErrs[i] = err
 			return
@@ -148,29 +173,30 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble [
 			return nil, err
 		}
 	}
-	groupRoot := map[int32]int32{}
-	groupSize := map[int32]int{}
-	for _, j := range gjobs {
-		root := gb.appendLocal(j.res, mergeMeta{kind: interBubble, group: j.g, bubble: -1})
-		groupRoot[j.g] = root
-		groupSize[j.g] = len(groupVerts[j.g])
+	groupRoot := make([]int32, len(gjobs))
+	for i, j := range gjobs {
+		groupRoot[i] = gb.appendLocal(j.res, mergeMeta{kind: interBubble, group: j.g, bubble: -1})
 	}
 
-	// Line 31: complete linkage across groups.
-	var topSets [][]int32
-	var topRoots []int32
-	for _, gid := range groups {
-		vs := groupVerts[gid]
-		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
-		topSets = append(topSets, vs)
-		topRoots = append(topRoots, groupRoot[gid])
+	// Line 31: complete linkage across groups. gjobs are in ascending group
+	// order, matching groups.
+	if len(gjobs) != len(groups) {
+		return nil, fmt.Errorf("dbht: %d group runs for %d groups", len(gjobs), len(groups))
 	}
-	dTop, err := hac.RunCtx(ctx, pool, len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
+	topSets := make([][]int32, len(gjobs))
+	for i, j := range gjobs {
+		topSets[i] = j.verts
+	}
+	dTop, err := hac.RunWS(ctx, pool, w, len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
 	if err != nil {
 		return nil, err
 	}
-	gb.appendLocal(localResult{dnd: dTop, items: topRoots}, mergeMeta{kind: interGroup, group: -1, bubble: -1})
+	gb.appendLocal(localResult{dnd: dTop, items: groupRoot}, mergeMeta{kind: interGroup, group: -1, bubble: -1})
 
+	groupSize := make([]int, len(gjobs))
+	for i, j := range gjobs {
+		groupSize[i] = len(j.verts)
+	}
 	if err := gb.assignHeights(groups, groupSize); err != nil {
 		return nil, err
 	}
@@ -184,6 +210,7 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, n int, group, bubble [
 // globalBuilder accumulates the final dendrogram's merges.
 type globalBuilder struct {
 	n      int
+	w      *ws.Workspace
 	merges []dendro.Merge
 	meta   []mergeMeta
 }
@@ -196,7 +223,7 @@ func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
 		return lr.items[0]
 	}
 	localN := lr.dnd.N
-	localToGlobal := make([]int32, localN+len(lr.dnd.Merges))
+	localToGlobal := gb.w.Int32(localN + len(lr.dnd.Merges))
 	copy(localToGlobal, lr.items)
 	for i, m := range lr.dnd.Merges {
 		self := int32(gb.n + len(gb.merges))
@@ -208,43 +235,74 @@ func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
 		gb.meta = append(gb.meta, md)
 		localToGlobal[localN+i] = self
 	}
-	return localToGlobal[localN+len(lr.dnd.Merges)-1]
+	root := localToGlobal[localN+len(lr.dnd.Merges)-1]
+	gb.w.PutInt32(localToGlobal)
+	return root
 }
 
 // assignHeights replaces raw linkage distances with the reference height
 // scheme: inter-group nodes get the number of converging-bubble groups in
 // their descendants; within each group, the nb−1 nodes get ascending heights
 // [1/(nb−1), …, 1/2, 1], ordered intra-bubble first (by bubble id, then
-// merge distance) and inter-bubble after (by merge distance).
-func (gb *globalBuilder) assignHeights(groups []int32, groupSize map[int32]int) error {
-	// Per group: collect merge indices.
-	perGroup := map[int32][]int{}
-	for i, md := range gb.meta {
+// merge distance) and inter-bubble after (by merge distance). groupSize[i]
+// is the vertex count of groups[i].
+func (gb *globalBuilder) assignHeights(groups []int32, groupSize []int) error {
+	// Per group: collect merge indices. Group ids are sparse bubble ids, so
+	// map them to positions first, then partition the merge indices with a
+	// count-and-fill pass.
+	gpos := make(map[int32]int, len(groups))
+	for i, gid := range groups {
+		gpos[gid] = i
+	}
+	perGroup := gb.w.Grouping()
+	defer gb.w.PutGrouping(perGroup)
+	counts := gb.w.Int32(len(groups))
+	clear(counts)
+	for _, md := range gb.meta {
 		if md.kind != interGroup {
-			perGroup[md.group] = append(perGroup[md.group], i)
+			counts[gpos[md.group]]++
 		}
 	}
-	for _, gid := range groups {
-		idx := perGroup[gid]
-		nb := groupSize[gid]
+	cur := perGroup.StartFromCounts(counts, counts)
+	for i, md := range gb.meta {
+		if md.kind != interGroup {
+			p := gpos[md.group]
+			perGroup.Data[cur[p]] = int32(i)
+			cur[p]++
+		}
+	}
+	gb.w.PutInt32(counts)
+	for p := range groups {
+		idx := perGroup.Group(p)
+		nb := groupSize[p]
 		if len(idx) != nb-1 {
-			return fmt.Errorf("dbht: group %d has %d merges for %d vertices", gid, len(idx), nb)
+			return fmt.Errorf("dbht: group %d has %d merges for %d vertices", groups[p], len(idx), nb)
 		}
 		if nb == 1 {
 			continue
 		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			ma, mb := gb.meta[idx[a]], gb.meta[idx[b]]
+		slices.SortStableFunc(idx, func(a, b int32) int {
+			ma, mb := gb.meta[a], gb.meta[b]
 			// Intra-bubble nodes first.
 			if (ma.kind == intraBubble) != (mb.kind == intraBubble) {
-				return ma.kind == intraBubble
-			}
-			if ma.kind == intraBubble {
-				if ma.bubble != mb.bubble {
-					return ma.bubble < mb.bubble
+				if ma.kind == intraBubble {
+					return -1
 				}
+				return 1
 			}
-			return ma.dist < mb.dist
+			if ma.kind == intraBubble && ma.bubble != mb.bubble {
+				if ma.bubble < mb.bubble {
+					return -1
+				}
+				return 1
+			}
+			if ma.dist < mb.dist {
+				return -1
+			}
+			if ma.dist > mb.dist {
+				return 1
+			}
+			return 0
 		})
 		for rank, mi := range idx {
 			// Heights 1/(nb-1), 1/(nb-2), ..., 1/2, 1.
@@ -252,22 +310,24 @@ func (gb *globalBuilder) assignHeights(groups []int32, groupSize map[int32]int) 
 		}
 	}
 	// Inter-group heights: number of groups in the node's descendants.
-	groupCount := make(map[int32]int, len(gb.merges))
+	// Children of inter-group merges are either group roots (count 1) or
+	// earlier inter-group nodes, so a flat per-merge count array suffices.
+	groupCount := gb.w.Int32(len(gb.merges))
+	defer gb.w.PutInt32(groupCount)
 	for i, md := range gb.meta {
 		if md.kind != interGroup {
 			continue
 		}
-		self := int32(gb.n + i)
 		m := &gb.merges[i]
-		count := 0
+		count := int32(0)
 		for _, c := range []int32{m.A, m.B} {
-			if cc, ok := groupCount[c]; ok {
-				count += cc
+			if ci := int(c) - gb.n; ci >= 0 && gb.meta[ci].kind == interGroup {
+				count += groupCount[ci]
 			} else {
 				count++ // a group root (or a leaf/vertex-level node of a whole group)
 			}
 		}
-		groupCount[self] = count
+		groupCount[i] = count
 		m.Height = float64(count)
 	}
 	return nil

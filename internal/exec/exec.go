@@ -185,30 +185,53 @@ func (p *Pool) ForBlocked(ctx context.Context, n, grain int, f func(lo, hi int))
 		nchunks = maxChunks
 	}
 	chunk := (n + nchunks - 1) / nchunks
-	var wg sync.WaitGroup
+	// Chunks are claimed from a shared atomic cursor rather than submitted
+	// as one closure each: a fixed number of worker loops (the caller plus
+	// up to workers−1 helpers) pull chunk indices until none remain. This
+	// keeps every parallel-for at O(1) allocations regardless of chunk
+	// count and load-balances uneven chunks dynamically.
+	var next atomic.Int64
 	var cancelled atomic.Bool
-	run := func(lo, hi int) {
+	work := func() {
+		for {
+			if cancelled.Load() {
+				return
+			}
+			if ctx.Err() != nil {
+				cancelled.Store(true)
+				return
+			}
+			k := int(next.Add(1)) - 1
+			lo := k * chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			f(lo, hi)
+		}
+	}
+	var wg sync.WaitGroup
+	task := func() {
 		defer wg.Done()
-		if cancelled.Load() {
-			return
-		}
-		if ctx.Err() != nil {
-			cancelled.Store(true)
-			return
-		}
-		f(lo, hi)
+		work()
 	}
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		lo, hi := lo, hi
+	helpers := p.workers - 1
+	if helpers > nchunks-1 {
+		helpers = nchunks - 1
+	}
+	for i := 0; i < helpers; i++ {
 		wg.Add(1)
-		if !p.trySubmit(func() { run(lo, hi) }) {
-			run(lo, hi)
+		if !p.trySubmit(task) {
+			// Every helper is busy (nested or concurrent operations): run
+			// the remaining chunks on the calling goroutine alone.
+			wg.Done()
+			break
 		}
 	}
+	work()
 	wg.Wait()
 	return ctx.Err()
 }

@@ -2,7 +2,7 @@ package exec
 
 import (
 	"context"
-	"sort"
+	"slices"
 )
 
 // SortSeqCutoff is the slice length below which Sort falls back to the
@@ -17,16 +17,44 @@ const sortSeqCutoff = SortSeqCutoff
 // pool for large inputs. Like sort.Slice it is not a stable sort. On
 // cancellation s may be left partially sorted and ctx.Err() is returned.
 func Sort[T any](ctx context.Context, p *Pool, s []T, less func(a, b T) bool) error {
+	return SortWithBuf(ctx, p, s, nil, less)
+}
+
+// SortWithBuf is Sort with caller-provided merge scratch, for hot paths
+// that sort every round and pool their buffers: buf is used as the merge
+// area when cap(buf) ≥ len(s), otherwise a scratch slice is allocated as in
+// Sort. The contents of buf are unspecified afterwards.
+func SortWithBuf[T any](ctx context.Context, p *Pool, s, buf []T, less func(a, b T) bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if len(s) < sortSeqCutoff || p.workers == 1 {
-		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		sortSeq(s, less)
 		return nil
 	}
-	buf := make([]T, len(s))
+	if cap(buf) >= len(s) {
+		buf = buf[:len(s)]
+	} else {
+		buf = make([]T, len(s))
+	}
 	mergeSort(ctx, p, s, buf, less, depthFor(p.workers))
 	return ctx.Err()
+}
+
+// sortSeq is the sequential building block for both the small-input fast
+// path and the parallel merge sort's leaves. slices.SortFunc avoids
+// sort.Slice's reflection-based swapper and its per-call allocations;
+// callers use total orders, so the unstable order is still deterministic.
+func sortSeq[T any](s []T, less func(a, b T) bool) {
+	slices.SortFunc(s, func(a, b T) int {
+		if less(a, b) {
+			return -1
+		}
+		if less(b, a) {
+			return 1
+		}
+		return 0
+	})
 }
 
 // depthFor returns a recursion depth that yields at least 2*w leaves.
@@ -45,7 +73,7 @@ func mergeSort[T any](ctx context.Context, p *Pool, s, buf []T, less func(a, b T
 		return
 	}
 	if len(s) < sortSeqCutoff || depth == 0 {
-		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		sortSeq(s, less)
 		return
 	}
 	mid := len(s) / 2

@@ -7,6 +7,7 @@ import (
 
 	"pfg/internal/exec"
 	"pfg/internal/parallel"
+	"pfg/internal/ws"
 )
 
 // DeltaStepping computes single-source shortest paths with the Δ-stepping
@@ -41,7 +42,10 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 			buckets = append(buckets, nil)
 		}
 	}
-	inBucket := make([]bool, n) // member of the bucket currently processed
+	wsp := ws.Get()
+	defer ws.Put(wsp)
+	inBucket := wsp.Bitset(n) // members of the bucket currently processed
+	defer wsp.PutBitset(inBucket)
 	for bi := 0; bi < len(buckets); bi++ {
 		var settled []int32
 		for len(buckets[bi]) > 0 {
@@ -54,8 +58,8 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 			active := frontier[:0]
 			for _, v := range frontier {
 				d := dist[v].Load()
-				if !inBucket[v] && !math.IsInf(d, 1) && bucketOf(d) == bi {
-					inBucket[v] = true
+				if !inBucket.Test(v) && !math.IsInf(d, 1) && bucketOf(d) == bi {
+					inBucket.Set(v)
 					active = append(active, v)
 				}
 			}
@@ -90,7 +94,7 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 				tb := bucketOf(d)
 				ensure(tb)
 				if tb == bi {
-					inBucket[u] = false // allow reprocessing this phase
+					inBucket.Clear(u) // allow reprocessing this phase
 				}
 				buckets[tb] = append(buckets[tb], u)
 			}
@@ -124,9 +128,7 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 			ensure(tb)
 			buckets[tb] = append(buckets[tb], u)
 		}
-		for _, v := range settled {
-			inBucket[v] = false
-		}
+		inBucket.ClearList(settled)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err

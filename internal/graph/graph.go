@@ -2,11 +2,19 @@
 // shortest-path machinery used by filtered-graph clustering: BFS, Dijkstra
 // single-source shortest paths, parallel all-pairs shortest paths, triangle
 // enumeration, and connectivity queries.
+//
+// All hot paths run on flat memory: the graph itself is CSR, visited sets
+// are dense bitsets, and component enumeration produces flat CSR-offset
+// groupings (ws.Grouping) instead of ragged [][]int32. Every *WS variant
+// draws its scratch (and, where documented, its result buffers) from a
+// ws.Workspace so repeated same-shape calls allocate nothing at steady
+// state; the plain variants delegate with a pooled workspace.
 package graph
 
 import (
 	"fmt"
-	"sort"
+
+	"pfg/internal/ws"
 )
 
 // Graph is an undirected weighted graph in compressed adjacency form. Each
@@ -28,12 +36,22 @@ type Edge struct {
 // FromEdges builds a Graph on n vertices from an undirected edge list.
 // Duplicate and self edges are rejected.
 func FromEdges(n int, edges []Edge) (*Graph, error) {
-	deg := make([]int32, n)
+	return FromEdgesWS(nil, n, edges)
+}
+
+// FromEdgesWS is FromEdges drawing both its scratch and the graph's CSR
+// arrays from the workspace. The arrays remain owned by the returned graph;
+// call Release to hand them back once the graph is no longer needed.
+func FromEdgesWS(w *ws.Workspace, n int, edges []Edge) (*Graph, error) {
+	deg := w.Int32(n)
+	clear(deg)
 	for _, e := range edges {
 		if e.U == e.V {
+			w.PutInt32(deg)
 			return nil, fmt.Errorf("graph: self loop at %d", e.U)
 		}
 		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			w.PutInt32(deg)
 			return nil, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
 		}
 		deg[e.U]++
@@ -41,14 +59,15 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 	}
 	g := &Graph{
 		N:      n,
-		Off:    make([]int32, n+1),
-		Adj:    make([]int32, 2*len(edges)),
-		Weight: make([]float64, 2*len(edges)),
+		Off:    w.Int32(n + 1),
+		Adj:    w.Int32(2 * len(edges)),
+		Weight: w.Float64(2 * len(edges)),
 	}
+	g.Off[0] = 0
 	for v := 0; v < n; v++ {
 		g.Off[v+1] = g.Off[v] + deg[v]
 	}
-	pos := make([]int32, n)
+	pos := deg // reuse the degree buffer as the per-vertex write cursor
 	copy(pos, g.Off[:n])
 	for _, e := range edges {
 		g.Adj[pos[e.U]] = e.V
@@ -58,30 +77,61 @@ func FromEdges(n int, edges []Edge) (*Graph, error) {
 		g.Weight[pos[e.V]] = e.W
 		pos[e.V]++
 	}
+	w.PutInt32(deg)
 	// Sort each adjacency list for deterministic iteration and O(log d)
-	// membership tests.
+	// membership tests. Insertion sort runs in place — no per-vertex
+	// allocations, and filtered-graph degrees are small on average.
 	for v := 0; v < n; v++ {
 		lo, hi := g.Off[v], g.Off[v+1]
-		idx := make([]int, hi-lo)
-		for i := range idx {
-			idx[i] = int(lo) + i
+		adj, wts := g.Adj[lo:hi], g.Weight[lo:hi]
+		for i := 1; i < len(adj); i++ {
+			a, x := adj[i], wts[i]
+			j := i
+			for ; j > 0 && adj[j-1] > a; j-- {
+				adj[j], wts[j] = adj[j-1], wts[j-1]
+			}
+			adj[j], wts[j] = a, x
 		}
-		sort.Slice(idx, func(a, b int) bool { return g.Adj[idx[a]] < g.Adj[idx[b]] })
-		adj := make([]int32, hi-lo)
-		wts := make([]float64, hi-lo)
-		for i, k := range idx {
-			adj[i] = g.Adj[k]
-			wts[i] = g.Weight[k]
-		}
-		copy(g.Adj[lo:hi], adj)
-		copy(g.Weight[lo:hi], wts)
 		for i := 1; i < len(adj); i++ {
 			if adj[i] == adj[i-1] {
+				g.Release(w)
 				return nil, fmt.Errorf("graph: duplicate edge (%d,%d)", v, adj[i])
 			}
 		}
 	}
 	return g, nil
+}
+
+// Release returns the graph's CSR arrays to the workspace. The graph must
+// not be used afterwards. Only call this on graphs built with FromEdgesWS
+// whose arrays are not shared (see WithWeights).
+func (g *Graph) Release(w *ws.Workspace) {
+	w.PutInt32(g.Off)
+	w.PutInt32(g.Adj)
+	w.PutFloat64(g.Weight)
+	g.Off, g.Adj, g.Weight = nil, nil, nil
+}
+
+// WithWeights returns a graph sharing this graph's topology (Off and Adj
+// alias g's arrays) with edge weights looked up per adjacency slot from
+// weightOf. The weight array is drawn from the workspace; release it with
+// ReleaseWeights when done. This is the cheap way to re-weight a filtered
+// graph (e.g. similarity → dissimilarity) without re-sorting adjacency.
+func (g *Graph) WithWeights(w *ws.Workspace, weightOf func(u, v int32) float64) *Graph {
+	ng := &Graph{N: g.N, Off: g.Off, Adj: g.Adj, Weight: w.Float64(len(g.Adj))}
+	for v := int32(0); int(v) < g.N; v++ {
+		for k := g.Off[v]; k < g.Off[v+1]; k++ {
+			ng.Weight[k] = weightOf(v, g.Adj[k])
+		}
+	}
+	return ng
+}
+
+// ReleaseWeights returns only the weight array to the workspace, for graphs
+// created with WithWeights whose topology is shared.
+func (g *Graph) ReleaseWeights(w *ws.Workspace) {
+	w.PutFloat64(g.Weight)
+	g.Off, g.Adj, g.Weight = nil, nil, nil
 }
 
 // NumEdges returns the number of undirected edges.
@@ -98,17 +148,25 @@ func (g *Graph) Neighbors(v int32) ([]int32, []float64) {
 
 // HasEdge reports whether {u, v} is an edge, using binary search.
 func (g *Graph) HasEdge(u, v int32) bool {
-	adj, _ := g.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return i < len(adj) && adj[i] == v
+	_, ok := g.EdgeWeight(u, v)
+	return ok
 }
 
 // EdgeWeight returns the weight of edge {u, v} and whether it exists.
 func (g *Graph) EdgeWeight(u, v int32) (float64, bool) {
-	adj, wts := g.Neighbors(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	if i < len(adj) && adj[i] == v {
-		return wts[i], true
+	lo, hi := int(g.Off[u]), int(g.Off[u+1])
+	// Manual binary search on the CSR segment: sort.Search's closure costs
+	// show up in the DBHT attachment loops.
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if g.Adj[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < int(g.Off[u+1]) && g.Adj[lo] == v {
+		return g.Weight[lo], true
 	}
 	return 0, false
 }
@@ -149,14 +207,22 @@ func (g *Graph) Edges() []Edge {
 // Connected reports whether the graph is connected (vacuously true for
 // n ≤ 1). excluded vertices (if any) are treated as removed.
 func (g *Graph) Connected(excluded ...int32) bool {
-	skip := make(map[int32]bool, len(excluded))
+	w := ws.Get()
+	defer ws.Put(w)
+	return g.ConnectedWS(w, excluded...)
+}
+
+// ConnectedWS is Connected with explicit workspace scratch.
+func (g *Graph) ConnectedWS(w *ws.Workspace, excluded ...int32) bool {
+	skip := w.Bitset(g.N)
+	defer w.PutBitset(skip)
 	for _, v := range excluded {
-		skip[v] = true
+		skip.Set(v)
 	}
 	start := int32(-1)
 	remaining := 0
 	for v := int32(0); int(v) < g.N; v++ {
-		if !skip[v] {
+		if !skip.Test(v) {
 			remaining++
 			if start < 0 {
 				start = v
@@ -166,59 +232,123 @@ func (g *Graph) Connected(excluded ...int32) bool {
 	if remaining <= 1 {
 		return true
 	}
-	visited := make([]bool, g.N)
-	queue := []int32{start}
-	visited[start] = true
+	queue := w.Int32(g.N)
+	defer w.PutInt32(queue)
+	// Reuse skip as the visited set: a vertex is enqueued at most once.
+	skip.Set(start)
+	queue[0] = start
+	qh, qt := 0, 1
 	seen := 1
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	for qh < qt {
+		v := queue[qh]
+		qh++
 		adj, _ := g.Neighbors(v)
 		for _, u := range adj {
-			if !visited[u] && !skip[u] {
-				visited[u] = true
+			if !skip.TestAndSet(u) {
 				seen++
-				queue = append(queue, u)
+				queue[qt] = u
+				qt++
 			}
 		}
 	}
 	return seen == remaining
 }
 
+// Components returns the connected components of the graph as a flat
+// CSR-offset grouping, drawing the result from the workspace. Components
+// are ordered by smallest contained vertex; members appear in BFS order
+// from that vertex. Release the grouping with w.PutGrouping.
+func (g *Graph) Components(w *ws.Workspace) *ws.Grouping {
+	out := w.Grouping()
+	g.ComponentsWithoutInto(w, out, nil)
+	return out
+}
+
 // ComponentsWithout returns the connected components of the graph after
 // removing the given vertices. Removed vertices belong to no component.
+// This is the ragged-slice convenience wrapper; hot paths use
+// ComponentsWithoutInto.
 func (g *Graph) ComponentsWithout(removed []int32) [][]int32 {
-	skip := make([]bool, g.N)
+	w := ws.Get()
+	defer ws.Put(w)
+	out := w.Grouping()
+	defer w.PutGrouping(out)
+	g.ComponentsWithoutInto(w, out, removed)
+	comps := make([][]int32, out.NumGroups())
+	for k := range comps {
+		comps[k] = append([]int32(nil), out.Group(k)...)
+	}
+	return comps
+}
+
+// ComponentsWithoutInto appends the connected components of the graph minus
+// the removed vertices to out, one grouping group per component. The
+// traversal is a bitset-visited BFS with a flat queue: deterministic
+// (components ordered by smallest vertex, members in BFS order) and
+// allocation-free once the workspace is warm.
+func (g *Graph) ComponentsWithoutInto(w *ws.Workspace, out *ws.Grouping, removed []int32) {
+	visited := w.Bitset(g.N)
 	for _, v := range removed {
-		skip[v] = true
+		visited.Set(v)
 	}
-	comp := make([]int32, g.N)
-	for i := range comp {
-		comp[i] = -1
-	}
-	var comps [][]int32
+	queue := w.Int32(g.N)
 	for s := int32(0); int(s) < g.N; s++ {
-		if skip[s] || comp[s] >= 0 {
+		if visited.Test(s) {
 			continue
 		}
-		id := int32(len(comps))
-		var members []int32
-		queue := []int32{s}
-		comp[s] = id
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			members = append(members, v)
+		visited.Set(s)
+		queue[0] = s
+		qh, qt := 0, 1
+		for qh < qt {
+			v := queue[qh]
+			qh++
+			out.Append(v)
 			adj, _ := g.Neighbors(v)
 			for _, u := range adj {
-				if !skip[u] && comp[u] < 0 {
-					comp[u] = id
-					queue = append(queue, u)
+				if !visited.TestAndSet(u) {
+					queue[qt] = u
+					qt++
 				}
 			}
 		}
-		comps = append(comps, members)
+		out.EndGroup()
 	}
+	w.PutInt32(queue)
+	w.PutBitset(visited)
+}
+
+// NumComponentsWithout counts the connected components of the graph minus
+// the removed vertices without materializing members — the cheap form of
+// ComponentsWithoutInto for separation tests.
+func (g *Graph) NumComponentsWithout(w *ws.Workspace, removed []int32) int {
+	visited := w.Bitset(g.N)
+	for _, v := range removed {
+		visited.Set(v)
+	}
+	queue := w.Int32(g.N)
+	comps := 0
+	for s := int32(0); int(s) < g.N; s++ {
+		if visited.Test(s) {
+			continue
+		}
+		comps++
+		visited.Set(s)
+		queue[0] = s
+		qh, qt := 0, 1
+		for qh < qt {
+			v := queue[qh]
+			qh++
+			adj, _ := g.Neighbors(v)
+			for _, u := range adj {
+				if !visited.TestAndSet(u) {
+					queue[qt] = u
+					qt++
+				}
+			}
+		}
+	}
+	w.PutInt32(queue)
+	w.PutBitset(visited)
 	return comps
 }
 

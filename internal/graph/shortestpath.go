@@ -4,29 +4,45 @@ import (
 	"context"
 	"math"
 
+	"pfg/internal/bitset"
 	"pfg/internal/exec"
+	"pfg/internal/ws"
 )
 
 // distHeap is a hand-rolled binary min-heap over (dist, vertex) pairs with a
 // position index for decrease-key, avoiding container/heap's interface
-// overhead in the APSP inner loop.
+// overhead in the APSP inner loop. Its arrays come from a workspace so one
+// heap serves every source handled by a worker.
 type distHeap struct {
 	verts []int32   // heap of vertex ids
 	dist  []float64 // dist[v] keyed by vertex id
 	pos   []int32   // pos[v] = index of v in verts, -1 if absent
 }
 
-func newDistHeap(n int) *distHeap {
-	h := &distHeap{
-		verts: make([]int32, 0, n),
-		dist:  make([]float64, n),
-		pos:   make([]int32, n),
-	}
+// acquire sizes the heap for n vertices from the workspace. Call reset
+// before each source and release when the worker is done.
+func (h *distHeap) acquire(w *ws.Workspace, n int) {
+	h.verts = w.Int32(n)[:0]
+	h.dist = w.Float64(n)
+	h.pos = w.Int32(n)
+	h.reset()
+}
+
+// reset empties the heap and re-initializes every distance to +Inf.
+func (h *distHeap) reset() {
+	h.verts = h.verts[:0]
 	for i := range h.pos {
 		h.pos[i] = -1
 		h.dist[i] = math.Inf(1)
 	}
-	return h
+}
+
+// release returns the heap's arrays to the workspace.
+func (h *distHeap) release(w *ws.Workspace) {
+	w.PutInt32(h.verts[:cap(h.verts)])
+	w.PutFloat64(h.dist)
+	w.PutInt32(h.pos)
+	h.verts, h.dist, h.pos = nil, nil, nil
 }
 
 func (h *distHeap) less(i, j int) bool { return h.dist[h.verts[i]] < h.dist[h.verts[j]] }
@@ -94,6 +110,25 @@ func (h *distHeap) popMin() int32 {
 	return v
 }
 
+// dijkstraInto runs Dijkstra from src using the caller's heap and settled
+// bitset (both already sized for g.N; the heap must be reset and the bitset
+// cleared), writing distances into out.
+func (g *Graph) dijkstraInto(h *distHeap, settled *bitset.Set, src int32, out []float64) {
+	h.decrease(src, 0)
+	for len(h.verts) > 0 {
+		v := h.popMin()
+		settled.Set(v)
+		dv := h.dist[v]
+		adj, wts := g.Neighbors(v)
+		for i, u := range adj {
+			if !settled.Test(u) {
+				h.decrease(u, dv+wts[i])
+			}
+		}
+	}
+	copy(out, h.dist)
+}
+
 // Dijkstra computes single-source shortest path distances from src using the
 // graph's edge weights, which must be non-negative. Unreachable vertices get
 // +Inf. The out slice, if non-nil and of length g.N, is reused.
@@ -101,21 +136,14 @@ func (g *Graph) Dijkstra(src int32, out []float64) []float64 {
 	if out == nil || len(out) != g.N {
 		out = make([]float64, g.N)
 	}
-	h := newDistHeap(g.N)
-	h.decrease(src, 0)
-	settled := make([]bool, g.N)
-	for len(h.verts) > 0 {
-		v := h.popMin()
-		settled[v] = true
-		dv := h.dist[v]
-		adj, wts := g.Neighbors(v)
-		for i, u := range adj {
-			if !settled[u] {
-				h.decrease(u, dv+wts[i])
-			}
-		}
-	}
-	copy(out, h.dist)
+	w := ws.Get()
+	defer ws.Put(w)
+	var h distHeap
+	h.acquire(w, g.N)
+	settled := w.Bitset(g.N)
+	g.dijkstraInto(&h, settled, src, out)
+	h.release(w)
+	w.PutBitset(settled)
 	return out
 }
 
@@ -126,15 +154,21 @@ func (g *Graph) BFSDistances(src int32) []int32 {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue := []int32{src}
-	for len(queue) > 0 {
-		v := queue[0]
-		queue = queue[1:]
+	w := ws.Get()
+	defer ws.Put(w)
+	queue := w.Int32(g.N)
+	defer w.PutInt32(queue)
+	queue[0] = src
+	qh, qt := 0, 1
+	for qh < qt {
+		v := queue[qh]
+		qh++
 		adj, _ := g.Neighbors(v)
 		for _, u := range adj {
 			if dist[u] < 0 {
 				dist[u] = dist[v] + 1
-				queue = append(queue, u)
+				queue[qt] = u
+				qt++
 			}
 		}
 	}
@@ -162,9 +196,33 @@ func (g *Graph) AllPairsShortestPaths() *APSP {
 // AllPairsShortestPathsCtx runs parallel Dijkstra from every source on the
 // given pool; cancellation is checked between per-source runs.
 func (g *Graph) AllPairsShortestPathsCtx(ctx context.Context, pool *exec.Pool) (*APSP, error) {
-	a := &APSP{N: g.N, Dist: make([]float64, g.N*g.N)}
-	err := pool.ForGrain(ctx, g.N, 1, func(src int) {
-		g.Dijkstra(int32(src), a.Dist[src*g.N:(src+1)*g.N])
+	w := ws.Get()
+	defer ws.Put(w)
+	return g.AllPairsShortestPathsWS(ctx, pool, w)
+}
+
+// AllPairsShortestPathsWS is AllPairsShortestPathsCtx with explicit
+// workspace scratch. Each worker block acquires one heap and one settled
+// bitset and reuses them across its sources, so an APSP over a warm
+// workspace performs no per-source allocation. The result's Dist array is
+// drawn from the workspace: callers that discard the APSP before releasing
+// the workspace may return it with w.PutFloat64(a.Dist).
+func (g *Graph) AllPairsShortestPathsWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace) (*APSP, error) {
+	n := g.N
+	a := &APSP{N: n, Dist: w.Float64(n * n)}
+	err := pool.ForBlocked(ctx, n, 1, func(lo, hi int) {
+		var h distHeap
+		h.acquire(w, n)
+		settled := w.Bitset(n)
+		for src := lo; src < hi; src++ {
+			if src > lo {
+				h.reset()
+				settled.ClearAll()
+			}
+			g.dijkstraInto(&h, settled, int32(src), a.Dist[src*n:(src+1)*n])
+		}
+		h.release(w)
+		w.PutBitset(settled)
 	})
 	if err != nil {
 		return nil, err

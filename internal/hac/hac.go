@@ -14,10 +14,12 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
+	"pfg/internal/bitset"
 	"pfg/internal/dendro"
 	"pfg/internal/exec"
+	"pfg/internal/ws"
 )
 
 // Linkage selects the cluster-distance update rule.
@@ -66,6 +68,15 @@ func Run(n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogra
 // RunCtx is Run on an explicit pool; cancellation is checked while the
 // dissimilarity matrix is materialized and once per NN-chain merge.
 func RunCtx(ctx context.Context, pool *exec.Pool, n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return RunWS(ctx, pool, w, n, dist, linkage)
+}
+
+// RunWS is RunCtx with explicit workspace scratch: the working matrix and
+// the NN-chain state are drawn from (and returned to) the workspace, so
+// repeated same-size runs allocate only the resulting dendrogram.
+func RunWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, dist func(i, j int) float64, linkage Linkage) (*dendro.Dendrogram, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
 	}
@@ -73,18 +84,22 @@ func RunCtx(ctx context.Context, pool *exec.Pool, n int, dist func(i, j int) flo
 		return &dendro.Dendrogram{N: 1}, nil
 	}
 	// Working copy of the dissimilarity matrix.
-	d := make([]float64, n*n)
+	d := w.Float64(n * n)
+	defer w.PutFloat64(d)
 	err := pool.ForGrain(ctx, n, 4, func(i int) {
+		row := d[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			if i != j {
-				d[i*n+j] = dist(i, j)
+				row[j] = dist(i, j)
+			} else {
+				row[j] = 0
 			}
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	return runOnMatrix(ctx, pool, n, d, linkage)
+	return runOnMatrix(ctx, pool, w, n, d, linkage)
 }
 
 // RunMatrix clusters using a prebuilt row-major n×n dissimilarity matrix,
@@ -105,7 +120,24 @@ func RunMatrixCtx(ctx context.Context, pool *exec.Pool, n int, d []float64, link
 	if n == 1 {
 		return &dendro.Dendrogram{N: 1}, nil
 	}
-	return runOnMatrix(ctx, pool, n, d, linkage)
+	w := ws.Get()
+	defer ws.Put(w)
+	return runOnMatrix(ctx, pool, w, n, d, linkage)
+}
+
+// RunMatrixWS is RunMatrixCtx with explicit workspace scratch for the
+// NN-chain state. d is consumed (overwritten) as in RunMatrix.
+func RunMatrixWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
+	}
+	if len(d) != n*n {
+		return nil, fmt.Errorf("hac: matrix length %d, want %d", len(d), n*n)
+	}
+	if n == 1 {
+		return &dendro.Dendrogram{N: 1}, nil
+	}
+	return runOnMatrix(ctx, pool, w, n, d, linkage)
 }
 
 // chainMerge is an NN-chain merge record over matrix slots.
@@ -114,21 +146,83 @@ type chainMerge struct {
 	dist float64
 }
 
-func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+// lwSeqCutoff is the matrix size below which the Lance-Williams row update
+// runs sequentially (one row update is too small to amortize dispatch).
+const lwSeqCutoff = 2048
+
+// lwState carries the per-merge Lance-Williams update parameters.
+type lwState struct {
+	d       []float64
+	size    []int32
+	dead    *bitset.Set
+	linkage Linkage
+	n       int
+	ma, mb  int32
+	sa, sb  float64
+	na, nb  int
+}
+
+// update applies the Lance-Williams recurrence to rows [lo, hi).
+func (u *lwState) update(lo, hi int) {
+	d, n := u.d, u.n
+	for y := lo; y < hi; y++ {
+		if u.dead.Test(int32(y)) || int32(y) == u.ma || int32(y) == u.mb {
+			continue
+		}
+		var nd float64
+		switch u.linkage {
+		case Complete:
+			nd = math.Max(d[u.na+y], d[u.nb+y])
+		case Single:
+			nd = math.Min(d[u.na+y], d[u.nb+y])
+		case Weighted:
+			nd = (d[u.na+y] + d[u.nb+y]) / 2
+		case Ward:
+			sy := float64(u.size[y])
+			nd = ((u.sa+sy)*d[u.na+y] + (u.sb+sy)*d[u.nb+y] - sy*d[u.na+int(u.mb)]) / (u.sa + u.sb + sy)
+		default: // Average
+			nd = (u.sa*d[u.na+y] + u.sb*d[u.nb+y]) / (u.sa + u.sb)
+		}
+		d[u.na+y] = nd
+		d[y*n+int(u.ma)] = nd
+	}
+}
+
+func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	if n == 2 {
+		// One merge, no chain bookkeeping: the common case for the tiny
+		// per-subgroup linkages inside DBHT hierarchy construction.
+		return &dendro.Dendrogram{N: 2, Merges: []dendro.Merge{{A: 0, B: 1, Height: d[1]}}}, nil
+	}
 	// Ward's Lance-Williams recurrence operates on squared distances.
 	if linkage == Ward {
 		for i := range d {
 			d[i] *= d[i]
 		}
 	}
-	size := make([]int32, n)
-	active := make([]bool, n)
+	size := w.Int32(n)
+	defer w.PutInt32(size)
+	// dead marks merged-away matrix slots; a cleared bitset means all n
+	// initial clusters are live.
+	dead := w.Bitset(n)
+	defer w.PutBitset(dead)
 	for i := range size {
 		size[i] = 1
-		active[i] = true
 	}
 	merges := make([]chainMerge, 0, n-1)
-	chain := make([]int32, 0, n)
+	chainBuf := w.Int32(n)
+	defer w.PutInt32(chainBuf)
+	chain := chainBuf[:0]
+	// The Lance-Williams row update lives in a single state struct so the
+	// merge loop passes one long-lived method value to the pool instead of
+	// allocating a closure (and boxed captures) per merge. Small matrices
+	// skip the pool dispatch entirely.
+	lw := lwState{d: d, size: size, dead: dead, linkage: linkage, n: n}
+	var lwApply func(lo, hi int)
+	parallelUpdate := n > lwSeqCutoff && pool.Workers() > 1
+	if parallelUpdate {
+		lwApply = lw.update
+	}
 	remaining := n
 	for remaining > 1 {
 		if err := ctx.Err(); err != nil {
@@ -136,7 +230,7 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linka
 		}
 		if len(chain) == 0 {
 			for i := 0; i < n; i++ {
-				if active[i] {
+				if !dead.Test(int32(i)) {
 					chain = append(chain, int32(i))
 					break
 				}
@@ -157,7 +251,7 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linka
 			}
 			row := d[int(x)*n : int(x)*n+n]
 			for y := 0; y < n; y++ {
-				if !active[y] || int32(y) == x {
+				if dead.Test(int32(y)) || int32(y) == x {
 					continue
 				}
 				if row[y] < bestD {
@@ -174,34 +268,16 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linka
 				}
 				merges = append(merges, chainMerge{a: a, b: b, dist: bestD})
 				// Merge b into a with the Lance-Williams update.
-				sa, sb := float64(size[a]), float64(size[b])
-				na := int(a) * n
-				nb := int(b) * n
-				pool.ForBlocked(ctx, n, 2048, func(lo, hi int) {
-					for y := lo; y < hi; y++ {
-						if !active[y] || int32(y) == a || int32(y) == b {
-							continue
-						}
-						var nd float64
-						switch linkage {
-						case Complete:
-							nd = math.Max(d[na+y], d[nb+y])
-						case Single:
-							nd = math.Min(d[na+y], d[nb+y])
-						case Weighted:
-							nd = (d[na+y] + d[nb+y]) / 2
-						case Ward:
-							sy := float64(size[y])
-							nd = ((sa+sy)*d[na+y] + (sb+sy)*d[nb+y] - sy*d[na+int(b)]) / (sa + sb + sy)
-						default: // Average
-							nd = (sa*d[na+y] + sb*d[nb+y]) / (sa + sb)
-						}
-						d[na+y] = nd
-						d[y*n+int(a)] = nd
-					}
-				})
+				lw.ma, lw.mb = a, b
+				lw.sa, lw.sb = float64(size[a]), float64(size[b])
+				lw.na, lw.nb = int(a)*n, int(b)*n
+				if parallelUpdate {
+					pool.ForBlocked(ctx, n, lwSeqCutoff, lwApply)
+				} else {
+					lw.update(0, n)
+				}
 				size[a] += size[b]
-				active[b] = false
+				dead.Set(b)
 				remaining--
 				break
 			}
@@ -213,16 +289,25 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, n int, d []float64, linka
 			merges[i].dist = math.Sqrt(merges[i].dist)
 		}
 	}
-	return label(n, merges)
+	return label(w, n, merges)
 }
 
 // label converts NN-chain merges (over matrix slots) into a dendrogram by
 // sorting on merge distance and relabeling with union-find, exactly as
 // scipy's linkage does. Reducibility of the supported linkages guarantees
 // the sorted order is a valid agglomeration order.
-func label(n int, merges []chainMerge) (*dendro.Dendrogram, error) {
-	sort.SliceStable(merges, func(i, j int) bool { return merges[i].dist < merges[j].dist })
-	parent := make([]int32, n+len(merges))
+func label(w *ws.Workspace, n int, merges []chainMerge) (*dendro.Dendrogram, error) {
+	slices.SortStableFunc(merges, func(a, b chainMerge) int {
+		if a.dist < b.dist {
+			return -1
+		}
+		if a.dist > b.dist {
+			return 1
+		}
+		return 0
+	})
+	parent := w.Int32(n + len(merges))
+	defer w.PutInt32(parent)
 	for i := range parent {
 		parent[i] = int32(i)
 	}

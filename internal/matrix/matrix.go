@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"pfg/internal/exec"
+	"pfg/internal/ws"
 )
 
 // Sym is a dense symmetric n×n matrix stored in row-major full form. Full
@@ -22,6 +23,20 @@ type Sym struct {
 // NewSym returns a zero-initialized n×n symmetric matrix.
 func NewSym(n int) *Sym {
 	return &Sym{N: n, Data: make([]float64, n*n)}
+}
+
+// NewSymWS returns an n×n matrix whose backing array is drawn from the
+// workspace; the contents are unspecified (callers overwrite every entry).
+// Release returns the array when the matrix's lifetime is caller-controlled.
+func NewSymWS(w *ws.Workspace, n int) *Sym {
+	return &Sym{N: n, Data: w.Float64(n * n)}
+}
+
+// Release returns the matrix's backing array to the workspace. The matrix
+// must not be used afterwards.
+func (m *Sym) Release(w *ws.Workspace) {
+	w.PutFloat64(m.Data)
+	m.Data = nil
 }
 
 // At returns the (i, j) entry.
@@ -77,6 +92,14 @@ func Pearson(series [][]float64) (*Sym, error) {
 	return PearsonCtx(context.Background(), exec.Default(), series)
 }
 
+// PearsonCtx is Pearson on the given pool, honouring cancellation at chunk
+// boundaries.
+func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return PearsonWS(ctx, pool, w, series)
+}
+
 // dot4 is the Pearson inner product, 4-way unrolled with independent
 // accumulators so the four chains issue in parallel on superscalar cores.
 func dot4(a, b []float64) float64 {
@@ -95,12 +118,17 @@ func dot4(a, b []float64) float64 {
 	return s
 }
 
-// PearsonCtx computes the n×n Pearson correlation matrix of the given series
-// (each series[i] must have the same length ≥ 2) on the given pool,
-// honouring cancellation at chunk boundaries. Zero-variance series correlate
-// 0 with everything and 1 with themselves. The computation is parallel over
-// row blocks.
-func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym, error) {
+// PearsonWS computes the n×n Pearson correlation matrix of the given series
+// (each series[i] must have the same length ≥ 2, with finite values) on the
+// given pool, honouring cancellation at chunk boundaries, with workspace
+// scratch and a workspace-backed result.
+//
+// Degenerate inputs have pinned behavior: a zero-variance (constant) series
+// correlates 0 with every other series and 1 with itself — it never yields
+// NaN. Non-finite samples (NaN or ±Inf) are rejected with an error rather
+// than silently poisoning downstream TMFG gain comparisons. The computation
+// is parallel over row blocks.
+func PearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (*Sym, error) {
 	n := len(series)
 	if n == 0 {
 		return nil, fmt.Errorf("matrix: no series")
@@ -115,11 +143,20 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 		}
 	}
 	// Normalize each series to zero mean and unit L2 norm; the correlation
-	// matrix is then Z·Zᵀ.
-	z := make([][]float64, n)
-	zero := make([]bool, n)
+	// matrix is then Z·Zᵀ. All rows share one flat backing array. The
+	// per-row flags are int32 slots, not a bitset: parallel workers write
+	// them concurrently, and bitset words would make neighbouring rows'
+	// writes race.
+	zback := w.Float64(n * l)
+	defer w.PutFloat64(zback)
+	zero := w.Int32(n)
+	defer w.PutInt32(zero)
+	clear(zero)
+	bad := w.Int32(n)
+	defer w.PutInt32(bad)
+	clear(bad)
 	err := pool.ForGrain(ctx, n, 8, func(i int) {
-		zi := make([]float64, l)
+		zi := zback[i*l : (i+1)*l]
 		mean := 0.0
 		for _, v := range series[i] {
 			mean += v
@@ -131,32 +168,39 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 			zi[t] = d
 			ss += d * d
 		}
-		if ss == 0 {
-			zero[i] = true
-		} else {
+		switch {
+		case math.IsNaN(ss) || math.IsInf(ss, 0):
+			bad[i] = 1
+		case ss == 0:
+			zero[i] = 1
+		default:
 			inv := 1 / math.Sqrt(ss)
 			for t := range zi {
 				zi[t] *= inv
 			}
 		}
-		z[i] = zi
 	})
 	if err != nil {
 		return nil, err
 	}
-	m := NewSym(n)
+	for i, b := range bad {
+		if b != 0 {
+			return nil, fmt.Errorf("matrix: series %d contains non-finite values", i)
+		}
+	}
+	m := NewSymWS(w, n)
 	err = pool.ForGrain(ctx, n, 4, func(i int) {
-		zi := z[i]
+		zi := zback[i*l : (i+1)*l]
 		row := m.Row(i)
 		for j := i; j < n; j++ {
 			var p float64
 			switch {
 			case i == j:
 				p = 1
-			case zero[i] || zero[j]:
+			case zero[i] != 0 || zero[j] != 0:
 				// p stays 0
 			default:
-				p = dot4(zi, z[j])
+				p = dot4(zi, zback[j*l:(j+1)*l])
 				// Clamp rounding noise so dissimilarities stay real.
 				if p > 1 {
 					p = 1
@@ -168,6 +212,7 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 		}
 	})
 	if err != nil {
+		m.Release(w)
 		return nil, err
 	}
 	// Mirror the upper triangle.
@@ -177,6 +222,7 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 		}
 	})
 	if err != nil {
+		m.Release(w)
 		return nil, err
 	}
 	return m, nil
@@ -193,7 +239,14 @@ func Dissimilarity(corr *Sym) *Sym {
 // dissimilarity d(i,j) = sqrt(2·(1−p(i,j))) used by the paper (Marti et
 // al.). For normalized zero-mean vectors this equals the Euclidean distance.
 func DissimilarityCtx(ctx context.Context, pool *exec.Pool, corr *Sym) (*Sym, error) {
-	d := NewSym(corr.N)
+	w := ws.Get()
+	defer ws.Put(w)
+	return DissimilarityWS(ctx, pool, w, corr)
+}
+
+// DissimilarityWS is DissimilarityCtx with a workspace-backed result.
+func DissimilarityWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, corr *Sym) (*Sym, error) {
+	d := NewSymWS(w, corr.N)
 	err := pool.ForGrain(ctx, corr.N, 16, func(i int) {
 		src, dst := corr.Row(i), d.Row(i)
 		for j := range src {
@@ -205,6 +258,7 @@ func DissimilarityCtx(ctx context.Context, pool *exec.Pool, corr *Sym) (*Sym, er
 		}
 	})
 	if err != nil {
+		d.Release(w)
 		return nil, err
 	}
 	return d, nil

@@ -11,17 +11,26 @@
 // For a fixed input the construction is deterministic regardless of the
 // number of threads: ties between equal gains are broken toward smaller
 // vertex and face ids, and batch insertions are applied in sorted order.
+//
+// The builder runs on flat memory: a sync.Pool of builders recycles the
+// face table and candidate buffers across constructions, per-call scratch
+// (row sums, orderings, membership sets) comes from the ws.Workspace, and
+// bubble vertices are carved from a single arena so construction performs
+// O(1) large allocations instead of O(n) small ones.
 package tmfg
 
 import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
+	"pfg/internal/bitset"
 	"pfg/internal/bubbletree"
 	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/matrix"
+	"pfg/internal/ws"
 )
 
 // Result is the output of TMFG construction.
@@ -51,9 +60,13 @@ type face struct {
 	v      [3]int32
 	bubble int32
 	alive  bool
-	best   int32 // best remaining vertex to insert, -1 when none
+	best   int32 // best remaining vertex to insert; -1 none, -2 stale
 	gain   float64
 }
+
+// needsGain marks a freshly created face whose best vertex has not been
+// computed yet, distinguishing it from -1 ("no remaining vertex fits").
+const needsGain = int32(-2)
 
 // candidate is a (face, vertex) insertion candidate with its gain.
 type candidate struct {
@@ -82,8 +95,18 @@ func Build(s *matrix.Sym, prefix int) (*Result, error) {
 }
 
 // BuildCtx constructs the TMFG on the given pool, honouring cancellation at
-// batch-round boundaries. prefix must be ≥ 1 and n ≥ 4.
+// batch-round boundaries, with a workspace from the process-wide pool.
 func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) (*Result, error) {
+	w := ws.Get()
+	defer ws.Put(w)
+	return BuildWS(ctx, pool, w, s, prefix)
+}
+
+// BuildWS is BuildCtx with explicit workspace scratch. prefix must be ≥ 1
+// and n ≥ 4. The returned graph's CSR arrays are drawn from the workspace
+// and owned by the result (release with Result.Graph.Release when the
+// caller controls the graph's lifetime).
+func BuildWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s *matrix.Sym, prefix int) (*Result, error) {
 	n := s.N
 	if n < 4 {
 		return nil, fmt.Errorf("tmfg: need at least 4 vertices, have %d", n)
@@ -91,7 +114,9 @@ func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) (
 	if prefix < 1 {
 		return nil, fmt.Errorf("tmfg: prefix must be ≥ 1, got %d", prefix)
 	}
-	b := newBuilder(ctx, pool, s, prefix)
+	b := builderPool.Get().(*builder)
+	defer b.recycle()
+	b.init(ctx, pool, w, s, prefix)
 	if err := b.initClique(); err != nil {
 		return nil, err
 	}
@@ -100,7 +125,7 @@ func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) (
 			return nil, err
 		}
 	}
-	g, err := graph.FromEdges(n, b.weightedEdges())
+	g, err := graph.FromEdgesWS(w, n, b.weightedEdges())
 	if err != nil {
 		return nil, fmt.Errorf("tmfg: internal error building graph: %w", err)
 	}
@@ -113,40 +138,84 @@ func BuildCtx(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) (
 	}, nil
 }
 
+// builderPool recycles builders (and their typed scratch: the face table,
+// candidate buffers, edge-weight scratch) across constructions.
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
+
 type builder struct {
 	ctx    context.Context
 	pool   *exec.Pool
+	w      *ws.Workspace
 	s      *matrix.Sym
 	prefix int
 
 	faces     []face
-	edges     [][2]int32
-	remaining []int32 // vertices not yet inserted
-	inserted  []bool
+	edges     [][2]int32 // escapes into Result: always freshly allocated
+	remaining []int32    // vertices not yet inserted (workspace buffer)
+	inserted  *bitset.Set
 
-	// facesOfBest[v] lists face indices whose current best vertex is (or
-	// recently was) v; entries may be stale and are filtered on use.
-	facesOfBest [][]int32
-
-	tree      *bubbletree.Tree
-	outerFace int32 // face index of the current outer face
+	tree       *bubbletree.Tree
+	vertsArena []int32 // backing array for all bubble vertex quads
+	outerFace  int32   // face index of the current outer face
 
 	initial [4]int32
 	rounds  int
 
-	// scratch
-	cands []candidate
+	// scratch (recycled via builderPool)
+	cands    []candidate
+	candsBuf []candidate // merge-sort scratch for cands
+	batch    []candidate
+	need     []int32 // face ids requiring gain recomputation this round
+	wedges   []graph.Edge
+	taken    *bitset.Set // workspace bitset, cleared between uses
 }
 
-func newBuilder(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int) *builder {
-	return &builder{
-		ctx:         ctx,
-		pool:        pool,
-		s:           s,
-		prefix:      prefix,
-		facesOfBest: make([][]int32, s.N),
-		inserted:    make([]bool, s.N),
+// init prepares a (possibly recycled) builder for one construction.
+func (b *builder) init(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s *matrix.Sym, prefix int) {
+	n := s.N
+	b.ctx, b.pool, b.w, b.s, b.prefix = ctx, pool, w, s, prefix
+	if cap(b.faces) < 3*n {
+		b.faces = make([]face, 0, 3*n)
+	} else {
+		b.faces = b.faces[:0]
 	}
+	b.edges = make([][2]int32, 0, 3*n-6)
+	b.remaining = w.Int32(n)[:0]
+	b.inserted = w.Bitset(n)
+	b.taken = w.Bitset(n)
+	// Tree nodes and the vertex arena escape with the result: fresh, but
+	// sized exactly so construction never regrows them.
+	b.tree = &bubbletree.Tree{Nodes: make([]bubbletree.Node, 0, n-3)}
+	b.vertsArena = make([]int32, 0, 4*(n-3))
+	b.cands = b.cands[:0]
+	b.need = b.need[:0]
+	b.rounds = 0
+	b.outerFace = 0
+}
+
+// recycle releases workspace buffers and drops result-owned references
+// before returning the builder to the pool.
+func (b *builder) recycle() {
+	b.w.PutInt32(b.remaining[:0])
+	b.w.PutBitset(b.inserted)
+	b.w.PutBitset(b.taken)
+	b.ctx, b.pool, b.w, b.s = nil, nil, nil, nil
+	b.edges, b.remaining, b.inserted, b.taken = nil, nil, nil, nil
+	b.tree, b.vertsArena = nil, nil
+	builderPool.Put(b)
+}
+
+// quad carves a sorted 4-vertex bubble off the arena.
+func (b *builder) quad(x0, x1, x2, x3 int32) []int32 {
+	i := len(b.vertsArena)
+	b.vertsArena = append(b.vertsArena, x0, x1, x2, x3)
+	q := b.vertsArena[i : i+4 : i+4]
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && q[j] < q[j-1]; j-- {
+			q[j], q[j-1] = q[j-1], q[j]
+		}
+	}
+	return q
 }
 
 // initClique picks the four vertices with the highest similarity row sums
@@ -154,15 +223,19 @@ func newBuilder(ctx context.Context, pool *exec.Pool, s *matrix.Sym, prefix int)
 // the bubble tree and gain table.
 func (b *builder) initClique() error {
 	n := b.s.N
-	sums := make([]float64, n)
+	sums := b.w.Float64(n)
+	defer b.w.PutFloat64(sums)
 	if err := b.pool.ForGrain(b.ctx, n, 16, func(i int) { sums[i] = b.s.RowSum(i) }); err != nil {
 		return err
 	}
-	order := make([]int32, n)
+	order := b.w.Int32(n)
+	defer b.w.PutInt32(order)
 	for i := range order {
 		order[i] = int32(i)
 	}
-	err := exec.Sort(b.ctx, b.pool, order, func(a, c int32) bool {
+	sortBuf := b.w.Int32(n)
+	defer b.w.PutInt32(sortBuf)
+	err := exec.SortWithBuf(b.ctx, b.pool, order, sortBuf, func(a, c int32) bool {
 		if sums[a] != sums[c] {
 			return sums[a] > sums[c]
 		}
@@ -174,48 +247,35 @@ func (b *builder) initClique() error {
 	copy(b.initial[:], order[:4])
 	c := b.initial
 	for i := 0; i < 4; i++ {
-		b.inserted[c[i]] = true
+		b.inserted.Set(c[i])
 		for j := i + 1; j < 4; j++ {
 			b.edges = append(b.edges, [2]int32{c[i], c[j]})
 		}
 	}
-	b.remaining = make([]int32, 0, n-4)
-	for _, v := range order[4:] {
-		b.remaining = append(b.remaining, v)
-	}
+	b.remaining = b.remaining[:0]
+	b.remaining = append(b.remaining, order[4:]...)
 	// Keep remaining sorted by id for deterministic scans.
-	if err := exec.Sort(b.ctx, b.pool, b.remaining, func(a, c int32) bool { return a < c }); err != nil {
+	if err := exec.SortWithBuf(b.ctx, b.pool, b.remaining, sortBuf, func(a, c int32) bool { return a < c }); err != nil {
 		return err
 	}
 
-	b.tree = &bubbletree.Tree{
-		Nodes: []bubbletree.Node{{
-			Vertices: sortedQuad(c[0], c[1], c[2], c[3]),
-			Parent:   -1,
-			Sep:      [3]int32{bubbletree.NoVertex, bubbletree.NoVertex, bubbletree.NoVertex},
-		}},
-		Root: 0,
-	}
-	b.faces = []face{
-		{v: [3]int32{c[0], c[1], c[2]}, bubble: 0, alive: true},
-		{v: [3]int32{c[0], c[1], c[3]}, bubble: 0, alive: true},
-		{v: [3]int32{c[0], c[2], c[3]}, bubble: 0, alive: true},
-		{v: [3]int32{c[1], c[2], c[3]}, bubble: 0, alive: true},
-	}
+	b.tree.Nodes = append(b.tree.Nodes, bubbletree.Node{
+		Vertices: b.quad(c[0], c[1], c[2], c[3]),
+		Parent:   -1,
+		Sep:      [3]int32{bubbletree.NoVertex, bubbletree.NoVertex, bubbletree.NoVertex},
+	})
+	b.tree.Root = 0
+	b.faces = append(b.faces,
+		face{v: [3]int32{c[0], c[1], c[2]}, bubble: 0, alive: true},
+		face{v: [3]int32{c[0], c[1], c[3]}, bubble: 0, alive: true},
+		face{v: [3]int32{c[0], c[2], c[3]}, bubble: 0, alive: true},
+		face{v: [3]int32{c[1], c[2], c[3]}, bubble: 0, alive: true},
+	)
 	b.outerFace = 0 // {v1, v2, v3}, chosen as in Algorithm 1 Line 7
 	for fi := range b.faces {
 		b.recomputeGain(int32(fi))
 	}
-	for fi := range b.faces {
-		b.registerBest(int32(fi))
-	}
 	return nil
-}
-
-// gainOf returns the insertion gain of vertex u into face f.
-func (b *builder) gainOf(f *face, u int32) float64 {
-	row := b.s.Row(int(u))
-	return row[f.v[0]] + row[f.v[1]] + row[f.v[2]]
 }
 
 // recomputeGain scans the remaining vertices to find face fi's best vertex.
@@ -232,14 +292,6 @@ func (b *builder) recomputeGain(fi int32) {
 			f.best = u
 			f.gain = g
 		}
-	}
-}
-
-// registerBest records fi in the facesOfBest list of its best vertex.
-// Must be called sequentially.
-func (b *builder) registerBest(fi int32) {
-	if best := b.faces[fi].best; best >= 0 {
-		b.facesOfBest[best] = append(b.facesOfBest[best], fi)
 	}
 }
 
@@ -260,35 +312,34 @@ func (b *builder) round() error {
 		panic("tmfg: empty batch with remaining vertices")
 	}
 	// Apply insertions sequentially (O(prefix) pointer updates); all heavy
-	// gain recomputation below is parallel.
-	touched := make([]int32, 0, 4*len(batch))
+	// gain recomputation below is parallel. insert appends the new face ids
+	// to b.need.
+	b.need = b.need[:0]
 	for _, c := range batch {
-		touched = append(touched, b.insert(c.vert, c.face)...)
+		b.insert(c.vert, c.face)
 	}
-	// Remove the batch from remaining (parallel filter).
-	b.remaining, err = exec.Filter(b.ctx, b.pool, b.remaining, func(v int32) bool { return !b.inserted[v] })
-	if err != nil {
-		return err
-	}
-	// Collect faces needing a new best vertex: the new faces plus alive
-	// faces whose recorded best was just inserted.
-	need := touched
-	for _, c := range batch {
-		for _, fi := range b.facesOfBest[c.vert] {
-			f := &b.faces[fi]
-			if f.alive && f.best == c.vert {
-				need = append(need, fi)
-			}
+	// Remove the batch from remaining with an in-place compaction: the scan
+	// is memory-bandwidth bound, so a sequential pass beats a parallel
+	// filter's bookkeeping at every realistic size.
+	k := 0
+	for _, v := range b.remaining {
+		if !b.inserted.Test(v) {
+			b.remaining[k] = v
+			k++
 		}
-		b.facesOfBest[c.vert] = nil
 	}
-	if err := b.pool.ForGrain(b.ctx, len(need), 1, func(i int) { b.recomputeGain(need[i]) }); err != nil {
-		return err
+	b.remaining = b.remaining[:k]
+	// Collect the other faces needing a new best vertex: alive faces whose
+	// recorded best was just inserted. New faces carry the needsGain
+	// sentinel and were collected by insert, so the scan cannot duplicate
+	// them (a duplicate would race inside the parallel recompute).
+	for fi := range b.faces {
+		f := &b.faces[fi]
+		if f.alive && f.best >= 0 && b.inserted.Test(f.best) {
+			b.need = append(b.need, int32(fi))
+		}
 	}
-	for _, fi := range need {
-		b.registerBest(fi)
-	}
-	return nil
+	return b.pool.ForGrain(b.ctx, len(b.need), 1, func(i int) { b.recomputeGain(b.need[i]) })
 }
 
 // selectBatch returns up to prefix (vertex, face) insertion pairs: the
@@ -324,7 +375,8 @@ func (b *builder) selectBatch() ([]candidate, error) {
 				}
 			}
 		}
-		return []candidate{best}, nil
+		b.batch = append(b.batch[:0], best)
+		return b.batch, nil
 	}
 	b.cands = b.cands[:0]
 	for i := range b.faces {
@@ -333,7 +385,10 @@ func (b *builder) selectBatch() ([]candidate, error) {
 			b.cands = append(b.cands, candidate{gain: f.gain, vert: f.best, face: int32(i)})
 		}
 	}
-	if err := exec.Sort(b.ctx, b.pool, b.cands, candLess); err != nil {
+	if cap(b.candsBuf) < len(b.cands) {
+		b.candsBuf = make([]candidate, len(b.cands))
+	}
+	if err := exec.SortWithBuf(b.ctx, b.pool, b.cands, b.candsBuf, candLess); err != nil {
 		return nil, err
 	}
 	limit := b.prefix
@@ -343,30 +398,32 @@ func (b *builder) selectBatch() ([]candidate, error) {
 	top := b.cands[:limit]
 	// Deduplicate by vertex: the sorted order guarantees the first
 	// occurrence has the maximum gain for that vertex.
-	out := make([]candidate, 0, limit)
-	taken := make(map[int32]bool, limit)
+	out := b.batch[:0]
 	for _, c := range top {
-		if !taken[c.vert] {
-			taken[c.vert] = true
+		if !b.taken.TestAndSet(c.vert) {
 			out = append(out, c)
 		}
 	}
+	for _, c := range out {
+		b.taken.Clear(c.vert)
+	}
+	b.batch = out
 	return out, nil
 }
 
 // insert adds vertex v into face fi: three new edges, three new faces, one
-// new bubble (Algorithm 2). It returns the indices of the new faces.
-func (b *builder) insert(v, fi int32) []int32 {
+// new bubble (Algorithm 2). The new face ids are appended to b.need.
+func (b *builder) insert(v, fi int32) {
 	f := &b.faces[fi]
 	x, y, z := f.v[0], f.v[1], f.v[2]
-	b.inserted[v] = true
+	b.inserted.Set(v)
 	b.edges = append(b.edges, [2]int32{v, x}, [2]int32{v, y}, [2]int32{v, z})
 	f.alive = false
 
 	// New bubble b* = {v, x, y, z}.
 	newBubble := int32(len(b.tree.Nodes))
 	node := bubbletree.Node{
-		Vertices: sortedQuad(v, x, y, z),
+		Vertices: b.quad(v, x, y, z),
 		Sep:      f.v,
 		Parent:   -1,
 	}
@@ -389,31 +446,25 @@ func (b *builder) insert(v, fi int32) []int32 {
 
 	base := int32(len(b.faces))
 	b.faces = append(b.faces,
-		face{v: [3]int32{v, x, y}, bubble: newBubble, alive: true},
-		face{v: [3]int32{v, y, z}, bubble: newBubble, alive: true},
-		face{v: [3]int32{v, x, z}, bubble: newBubble, alive: true},
+		face{v: [3]int32{v, x, y}, bubble: newBubble, alive: true, best: needsGain},
+		face{v: [3]int32{v, y, z}, bubble: newBubble, alive: true, best: needsGain},
+		face{v: [3]int32{v, x, z}, bubble: newBubble, alive: true, best: needsGain},
 	)
 	if fi == b.outerFace {
 		b.outerFace = base // {v, x, y}
 	}
-	return []int32{base, base + 1, base + 2}
+	b.need = append(b.need, base, base+1, base+2)
 }
 
-// weightedEdges attaches similarity weights to the edge list.
+// weightedEdges attaches similarity weights to the edge list, reusing the
+// builder's scratch (the graph copies what it keeps).
 func (b *builder) weightedEdges() []graph.Edge {
-	out := make([]graph.Edge, len(b.edges))
+	if cap(b.wedges) < len(b.edges) {
+		b.wedges = make([]graph.Edge, len(b.edges))
+	}
+	out := b.wedges[:len(b.edges)]
 	for i, e := range b.edges {
 		out[i] = graph.Edge{U: e[0], V: e[1], W: b.s.At(int(e[0]), int(e[1]))}
 	}
 	return out
-}
-
-func sortedQuad(a, b, c, d int32) []int32 {
-	q := []int32{a, b, c, d}
-	for i := 1; i < 4; i++ {
-		for j := i; j > 0 && q[j] < q[j-1]; j-- {
-			q[j], q[j-1] = q[j-1], q[j]
-		}
-	}
-	return q
 }

@@ -11,6 +11,7 @@ import (
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
 	"pfg/internal/tmfg"
+	"pfg/internal/ws"
 )
 
 // Matrix is a dense symmetric matrix (similarities or dissimilarities).
@@ -110,14 +111,27 @@ func Cluster(series [][]float64, opts Options) (*Result, error) {
 // checks ctx at chunk and stage boundaries and returns ctx.Err() promptly
 // once ctx is cancelled or its deadline passes. The concurrency of the call
 // is bounded by opts.Workers (see Options).
+//
+// Each call owns one ws.Workspace from the process-wide pool: every
+// intermediate of the pipeline (correlation and dissimilarity matrices, the
+// filtered graph, APSP, and all scratch) is drawn from it and returned
+// before the call ends, so repeated calls on same-shaped inputs run at
+// steady state with near-zero allocation churn.
 func ClusterContext(ctx context.Context, series [][]float64, opts Options) (*Result, error) {
 	pool, release := poolFor(opts)
 	defer release()
-	sim, dis, err := core.CorrelateCtx(ctx, pool, series)
+	w := ws.Get()
+	defer ws.Put(w)
+	sim, dis, err := core.CorrelateWS(ctx, pool, w, series)
 	if err != nil {
 		return nil, err
 	}
-	return clusterMatrixOn(ctx, pool, sim, dis, opts)
+	r, err := clusterMatrixOn(ctx, pool, w, sim, dis, opts)
+	// The matrices are internal to this call; nothing in Result references
+	// them.
+	sim.Release(w)
+	dis.Release(w)
+	return r, err
 }
 
 // ClusterMatrix clusters from a precomputed similarity matrix and optional
@@ -127,11 +141,14 @@ func ClusterMatrix(sim, dis *Matrix, opts Options) (*Result, error) {
 }
 
 // ClusterMatrixContext is ClusterMatrix with cooperative cancellation and a
-// per-call worker budget, like ClusterContext.
+// per-call worker budget, like ClusterContext. The caller keeps ownership
+// of sim and dis; only the call's internal scratch is pooled.
 func ClusterMatrixContext(ctx context.Context, sim, dis *Matrix, opts Options) (*Result, error) {
 	pool, release := poolFor(opts)
 	defer release()
-	return clusterMatrixOn(ctx, pool, sim, dis, opts)
+	w := ws.Get()
+	defer ws.Put(w)
+	return clusterMatrixOn(ctx, pool, w, sim, dis, opts)
 }
 
 // poolFor maps Options.Workers to an execution pool: the shared
@@ -145,7 +162,7 @@ func poolFor(opts Options) (*exec.Pool, func()) {
 	return p, p.Close
 }
 
-func clusterMatrixOn(ctx context.Context, pool *exec.Pool, sim, dis *Matrix, opts Options) (*Result, error) {
+func clusterMatrixOn(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim, dis *Matrix, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -154,7 +171,7 @@ func clusterMatrixOn(ctx context.Context, pool *exec.Pool, sim, dis *Matrix, opt
 	}
 	switch opts.Method {
 	case TMFGDBHT:
-		r, err := core.TMFGDBHTCtx(ctx, pool, sim, dis, opts.Prefix)
+		r, err := core.TMFGDBHTWS(ctx, pool, w, sim, dis, opts.Prefix)
 		if err != nil {
 			return nil, err
 		}
@@ -166,18 +183,23 @@ func clusterMatrixOn(ctx context.Context, pool *exec.Pool, sim, dis *Matrix, opt
 		}
 		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
 	case CompleteLinkage, AverageLinkage:
+		ownDis := false
 		if dis == nil {
 			var err error
-			dis, err = matrix.DissimilarityCtx(ctx, pool, sim)
+			dis, err = matrix.DissimilarityWS(ctx, pool, w, sim)
 			if err != nil {
 				return nil, err
 			}
+			ownDis = true
 		}
 		linkage := hac.Complete
 		if opts.Method == AverageLinkage {
 			linkage = hac.Average
 		}
-		r, err := core.HACCtx(ctx, pool, dis, linkage)
+		r, err := core.HACWS(ctx, pool, w, dis, linkage)
+		if ownDis {
+			dis.Release(w)
+		}
 		if err != nil {
 			return nil, err
 		}
