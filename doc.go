@@ -35,6 +35,21 @@
 // concurrent serving; see README.md ("Flat memory and workspaces") and
 // BENCH_flatmem.json for the measured steady-state profile.
 //
+// # Kernel layer
+//
+// The arithmetic under the hot loops lives in internal/kernel: a
+// register-tiled SYRK for the Pearson product Z·Zᵀ (2×4 micro-tiles sized
+// to amd64's register file), a finish pass that fuses the correlation
+// fixups, the mirror, and the dissimilarity transform into one blocked
+// traversal, a 4-ary implicit heap for Dijkstra/APSP, and unrolled
+// min/argmin and max-gain scan kernels used by the HAC NN-chain and TMFG
+// gain recomputation. Kernels are sequential over explicit ranges — the
+// algorithm layers drive them in parallel — and bit-deterministic: worker
+// count and chunk partitioning can change the work order but never an
+// output bit. README.md ("Kernel layer") documents the tiling scheme, the
+// determinism guarantee, and how to pick tile sizes; BENCH_kernels.json
+// records the measured speedups.
+//
 // See the examples/ directory for runnable programs and README.md for the
 // architecture overview and the context-aware API.
 package pfg

@@ -212,18 +212,10 @@ func CorrelateCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (sim
 // CorrelateWS is CorrelateCtx with workspace-backed results: both matrices
 // draw their backing arrays from w, and callers that control their lifetime
 // (pfg.ClusterContext) release them back with Sym.Release once clustering
-// is done.
+// is done. The dissimilarity is derived inside the Pearson finish kernel, so
+// the pair costs one matrix traversal instead of two.
 func CorrelateWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (sim, dis *matrix.Sym, err error) {
-	sim, err = matrix.PearsonWS(ctx, pool, w, series)
-	if err != nil {
-		return nil, nil, err
-	}
-	dis, err = matrix.DissimilarityWS(ctx, pool, w, sim)
-	if err != nil {
-		sim.Release(w)
-		return nil, nil, err
-	}
-	return sim, dis, nil
+	return matrix.PearsonDissimWS(ctx, pool, w, series)
 }
 
 // CutLabels cuts a result's dendrogram into k clusters.

@@ -10,6 +10,7 @@ import (
 	"pfg/internal/exec"
 	"pfg/internal/graph"
 	"pfg/internal/hac"
+	"pfg/internal/kernel"
 	"pfg/internal/ws"
 )
 
@@ -68,12 +69,14 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int
 	gb := &globalBuilder{n: n, w: w}
 	vdist := func(a, b int32) float64 { return apsp.At(a, b) }
 	setDist := func(a, b []int32) float64 {
+		// Complete linkage between vertex sets: for each row the inner max
+		// is the unrolled gather kernel (max is order-insensitive, so the
+		// result is unchanged).
 		best := math.Inf(-1)
 		for _, u := range a {
-			for _, v := range b {
-				if d := apsp.At(u, v); d > best {
-					best = d
-				}
+			row := apsp.Dist[int(u)*apsp.N : (int(u)+1)*apsp.N]
+			if m := kernel.MaxGather(row, b); m > best {
+				best = m
 			}
 		}
 		return best

@@ -69,20 +69,7 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 			var mu sync.Mutex
 			var improved []int32
 			pool.ForBlocked(ctx, len(active), 64, func(lo, hi int) {
-				var local []int32
-				for k := lo; k < hi; k++ {
-					v := active[k]
-					dv := dist[v].Load()
-					adj, wts := g.Neighbors(v)
-					for i, u := range adj {
-						if wts[i] > delta {
-							continue
-						}
-						if dist[u].Min(dv + wts[i]) {
-							local = append(local, u)
-						}
-					}
-				}
+				local := g.relaxChunk(dist, active, lo, hi, delta, false)
 				if len(local) > 0 {
 					mu.Lock()
 					improved = append(improved, local...)
@@ -103,20 +90,7 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 		var mu sync.Mutex
 		var improved []int32
 		pool.ForBlocked(ctx, len(settled), 64, func(lo, hi int) {
-			var local []int32
-			for k := lo; k < hi; k++ {
-				v := settled[k]
-				dv := dist[v].Load()
-				adj, wts := g.Neighbors(v)
-				for i, u := range adj {
-					if wts[i] <= delta {
-						continue
-					}
-					if dist[u].Min(dv + wts[i]) {
-						local = append(local, u)
-					}
-				}
-			}
+			local := g.relaxChunk(dist, settled, lo, hi, delta, true)
 			if len(local) > 0 {
 				mu.Lock()
 				improved = append(improved, local...)
@@ -138,6 +112,35 @@ func (g *Graph) DeltaSteppingCtx(ctx context.Context, pool *exec.Pool, src int32
 		out[i] = dist[i].Load()
 	}
 	return out, nil
+}
+
+// relaxChunk relaxes the edges of verts[lo:hi] whose weights pass the phase
+// filter (light: w ≤ Δ, heavy: w > Δ), returning the atomically improved
+// endpoints. Tentative distances for a whole adjacency chunk are computed
+// before the atomic updates, as in the Dijkstra relax batch.
+func (g *Graph) relaxChunk(dist []parallel.Float64, verts []int32, lo, hi int, delta float64, heavy bool) []int32 {
+	var cand [8]float64
+	var local []int32
+	for k := lo; k < hi; k++ {
+		v := verts[k]
+		dv := dist[v].Load()
+		adj, wts := g.Neighbors(v)
+		for base := 0; base < len(adj); base += len(cand) {
+			m := min(len(cand), len(adj)-base)
+			for i := 0; i < m; i++ {
+				cand[i] = dv + wts[base+i]
+			}
+			for i := 0; i < m; i++ {
+				if (wts[base+i] > delta) != heavy {
+					continue
+				}
+				if u := adj[base+i]; dist[u].Min(cand[i]) {
+					local = append(local, u)
+				}
+			}
+		}
+	}
+	return local
 }
 
 // MeanEdgeWeight returns the average edge weight, a practical Δ choice.

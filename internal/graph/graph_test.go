@@ -1,10 +1,14 @@
 package graph
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pfg/internal/exec"
+	"pfg/internal/ws"
 )
 
 func mustGraph(t *testing.T, n int, edges []Edge) *Graph {
@@ -320,4 +324,60 @@ func TestDijkstraReusesOutSlice(t *testing.T) {
 	if &out[0] != &buf[0] {
 		t.Fatal("should reuse provided slice")
 	}
+}
+
+// TestBFSDistancesWS checks the workspace-backed variant matches the
+// allocating one and that its result releases cleanly.
+func TestBFSDistancesWS(t *testing.T) {
+	g := pathGraph(t, 9)
+	w := ws.Get()
+	defer ws.Put(w)
+	want := g.BFSDistances(2)
+	got := g.BFSDistancesWS(w, 2)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("d[%d]=%d want %d", i, got[i], want[i])
+		}
+	}
+	w.PutInt32(got)
+}
+
+// TestAPSPWorkersBitIdentical pins the Dijkstra APSP to the same bits for
+// every worker budget: each source's run is sequential, so the partition of
+// sources across workers cannot change any distance.
+func TestAPSPWorkersBitIdentical(t *testing.T) {
+	g := benchGraph(t, 90)
+	ctx := context.Background()
+	p1 := exec.New(1)
+	defer p1.Close()
+	a1, err := g.AllPairsShortestPathsCtx(ctx, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 7} {
+		p := exec.New(workers)
+		a, err := g.AllPairsShortestPathsCtx(ctx, p)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Dist {
+			if math.Float64bits(a.Dist[i]) != math.Float64bits(a1.Dist[i]) {
+				t.Fatalf("workers=%d: dist[%d] = %v, want %v", workers, i, a.Dist[i], a1.Dist[i])
+			}
+		}
+	}
+}
+
+// TestDijkstraNegativeWeightPanics pins the precondition guard: without a
+// settled set, a negative (or NaN) weight would re-insert popped vertices
+// forever; the pop bound must turn that into a panic, not a hang.
+func TestDijkstraNegativeWeightPanics(t *testing.T) {
+	g := mustGraph(t, 2, []Edge{{U: 0, V: 1, W: -1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative edge weight")
+		}
+	}()
+	g.Dijkstra(0, nil)
 }

@@ -2,131 +2,68 @@ package graph
 
 import (
 	"context"
-	"math"
 
-	"pfg/internal/bitset"
 	"pfg/internal/exec"
+	"pfg/internal/kernel"
 	"pfg/internal/ws"
 )
 
-// distHeap is a hand-rolled binary min-heap over (dist, vertex) pairs with a
-// position index for decrease-key, avoiding container/heap's interface
-// overhead in the APSP inner loop. Its arrays come from a workspace so one
-// heap serves every source handled by a worker.
+// distHeap wraps the 4-ary kernel.Heap4 with workspace-backed storage: one
+// heap serves every source handled by a worker. The 4-ary layout halves the
+// sift depth of the old binary heap and keeps each level's children on one
+// or two cache lines — the misses that dominated the APSP inner loop.
 type distHeap struct {
-	verts []int32   // heap of vertex ids
-	dist  []float64 // dist[v] keyed by vertex id
-	pos   []int32   // pos[v] = index of v in verts, -1 if absent
+	kernel.Heap4
 }
 
-// acquire sizes the heap for n vertices from the workspace. Call reset
-// before each source and release when the worker is done.
+// acquire sizes the heap for n vertices from the workspace. Call Reset
+// before each subsequent source and release when the worker is done.
 func (h *distHeap) acquire(w *ws.Workspace, n int) {
-	h.verts = w.Int32(n)[:0]
-	h.dist = w.Float64(n)
-	h.pos = w.Int32(n)
-	h.reset()
-}
-
-// reset empties the heap and re-initializes every distance to +Inf.
-func (h *distHeap) reset() {
-	h.verts = h.verts[:0]
-	for i := range h.pos {
-		h.pos[i] = -1
-		h.dist[i] = math.Inf(1)
-	}
+	h.Init(w.Int32(n), w.Float64(n), w.Int32(n))
 }
 
 // release returns the heap's arrays to the workspace.
 func (h *distHeap) release(w *ws.Workspace) {
-	w.PutInt32(h.verts[:cap(h.verts)])
-	w.PutFloat64(h.dist)
-	w.PutInt32(h.pos)
-	h.verts, h.dist, h.pos = nil, nil, nil
+	verts, dist, pos := h.Storage()
+	w.PutInt32(verts)
+	w.PutFloat64(dist)
+	w.PutInt32(pos)
 }
 
-func (h *distHeap) less(i, j int) bool { return h.dist[h.verts[i]] < h.dist[h.verts[j]] }
-
-func (h *distHeap) swap(i, j int) {
-	h.verts[i], h.verts[j] = h.verts[j], h.verts[i]
-	h.pos[h.verts[i]] = int32(i)
-	h.pos[h.verts[j]] = int32(j)
-}
-
-func (h *distHeap) up(i int) {
-	for i > 0 {
-		p := (i - 1) / 2
-		if !h.less(i, p) {
-			break
+// dijkstraInto runs Dijkstra from src using the caller's heap (already
+// acquired and reset), writing distances into out. No settled set is
+// needed: with non-negative weights a popped vertex can never be improved,
+// so DecreaseKey's d ≥ dist[u] early-out filters stale relaxations. That
+// argument requires non-negative finite weights, so the pop counter turns a
+// violation (negative or NaN weights re-inserting popped vertices) into a
+// panic instead of an unbounded loop.
+func (g *Graph) dijkstraInto(h *distHeap, src int32, out []float64) {
+	h.DecreaseKey(src, 0)
+	pops := 0
+	// Tentative distances are computed for a whole adjacency chunk before
+	// any heap update: the batch keeps the weight loads and adds pipelined
+	// instead of interleaving them with the heap's dependent branches.
+	var cand [8]float64
+	for h.Len() > 0 {
+		v := h.PopMin()
+		if pops++; pops > g.N {
+			panic("graph: Dijkstra requires non-negative finite edge weights")
 		}
-		h.swap(i, p)
-		i = p
-	}
-}
-
-func (h *distHeap) down(i int) {
-	n := len(h.verts)
-	for {
-		l, r := 2*i+1, 2*i+2
-		small := i
-		if l < n && h.less(l, small) {
-			small = l
-		}
-		if r < n && h.less(r, small) {
-			small = r
-		}
-		if small == i {
-			return
-		}
-		h.swap(i, small)
-		i = small
-	}
-}
-
-// decrease inserts v with distance d, or lowers its key if already present
-// with a larger distance.
-func (h *distHeap) decrease(v int32, d float64) {
-	if d >= h.dist[v] {
-		return
-	}
-	h.dist[v] = d
-	if h.pos[v] < 0 {
-		h.pos[v] = int32(len(h.verts))
-		h.verts = append(h.verts, v)
-	}
-	h.up(int(h.pos[v]))
-}
-
-// popMin removes and returns the vertex with the smallest distance.
-func (h *distHeap) popMin() int32 {
-	v := h.verts[0]
-	last := len(h.verts) - 1
-	h.swap(0, last)
-	h.verts = h.verts[:last]
-	h.pos[v] = -1
-	if last > 0 {
-		h.down(0)
-	}
-	return v
-}
-
-// dijkstraInto runs Dijkstra from src using the caller's heap and settled
-// bitset (both already sized for g.N; the heap must be reset and the bitset
-// cleared), writing distances into out.
-func (g *Graph) dijkstraInto(h *distHeap, settled *bitset.Set, src int32, out []float64) {
-	h.decrease(src, 0)
-	for len(h.verts) > 0 {
-		v := h.popMin()
-		settled.Set(v)
-		dv := h.dist[v]
-		adj, wts := g.Neighbors(v)
-		for i, u := range adj {
-			if !settled.Test(u) {
-				h.decrease(u, dv+wts[i])
+		dv := h.DistOf(v)
+		lo, hi := g.Off[v], g.Off[v+1]
+		adj := g.Adj[lo:hi]
+		wts := g.Weight[lo:hi]
+		for base := 0; base < len(adj); base += len(cand) {
+			m := min(len(cand), len(adj)-base)
+			for k := 0; k < m; k++ {
+				cand[k] = dv + wts[base+k]
+			}
+			for k := 0; k < m; k++ {
+				h.DecreaseKey(adj[base+k], cand[k])
 			}
 		}
 	}
-	copy(out, h.dist)
+	copy(out, h.Dists())
 }
 
 // Dijkstra computes single-source shortest path distances from src using the
@@ -140,22 +77,35 @@ func (g *Graph) Dijkstra(src int32, out []float64) []float64 {
 	defer ws.Put(w)
 	var h distHeap
 	h.acquire(w, g.N)
-	settled := w.Bitset(g.N)
-	g.dijkstraInto(&h, settled, src, out)
+	g.dijkstraInto(&h, src, out)
 	h.release(w)
-	w.PutBitset(settled)
 	return out
 }
 
 // BFSDistances computes hop-count distances from src (-1 for unreachable).
+// The result is freshly allocated; hot paths use BFSDistancesWS.
 func (g *Graph) BFSDistances(src int32) []int32 {
-	dist := make([]int32, g.N)
+	w := ws.Get()
+	defer ws.Put(w)
+	out := make([]int32, g.N)
+	g.bfsDistancesInto(w, src, out)
+	return out
+}
+
+// BFSDistancesWS is BFSDistances with both the queue scratch and the result
+// drawn from the workspace; release the returned slice with w.PutInt32 when
+// done.
+func (g *Graph) BFSDistancesWS(w *ws.Workspace, src int32) []int32 {
+	out := w.Int32(g.N)
+	g.bfsDistancesInto(w, src, out)
+	return out
+}
+
+func (g *Graph) bfsDistancesInto(w *ws.Workspace, src int32, dist []int32) {
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	w := ws.Get()
-	defer ws.Put(w)
 	queue := w.Int32(g.N)
 	defer w.PutInt32(queue)
 	queue[0] = src
@@ -172,7 +122,6 @@ func (g *Graph) BFSDistances(src int32) []int32 {
 			}
 		}
 	}
-	return dist
 }
 
 // APSP computes all-pairs shortest path distances by running Dijkstra from
@@ -202,27 +151,24 @@ func (g *Graph) AllPairsShortestPathsCtx(ctx context.Context, pool *exec.Pool) (
 }
 
 // AllPairsShortestPathsWS is AllPairsShortestPathsCtx with explicit
-// workspace scratch. Each worker block acquires one heap and one settled
-// bitset and reuses them across its sources, so an APSP over a warm
-// workspace performs no per-source allocation. The result's Dist array is
-// drawn from the workspace: callers that discard the APSP before releasing
-// the workspace may return it with w.PutFloat64(a.Dist).
+// workspace scratch. Each worker block acquires one heap and reuses it
+// across its sources, so an APSP over a warm workspace performs no
+// per-source allocation. The result's Dist array is drawn from the
+// workspace: callers that discard the APSP before releasing the workspace
+// may return it with w.PutFloat64(a.Dist).
 func (g *Graph) AllPairsShortestPathsWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace) (*APSP, error) {
 	n := g.N
 	a := &APSP{N: n, Dist: w.Float64(n * n)}
 	err := pool.ForBlocked(ctx, n, 1, func(lo, hi int) {
 		var h distHeap
 		h.acquire(w, n)
-		settled := w.Bitset(n)
 		for src := lo; src < hi; src++ {
 			if src > lo {
-				h.reset()
-				settled.ClearAll()
+				h.Reset()
 			}
-			g.dijkstraInto(&h, settled, int32(src), a.Dist[src*n:(src+1)*n])
+			g.dijkstraInto(&h, int32(src), a.Dist[src*n:(src+1)*n])
 		}
 		h.release(w)
-		w.PutBitset(settled)
 	})
 	if err != nil {
 		return nil, err

@@ -19,6 +19,7 @@ import (
 	"pfg/internal/bitset"
 	"pfg/internal/dendro"
 	"pfg/internal/exec"
+	"pfg/internal/kernel"
 	"pfg/internal/ws"
 )
 
@@ -162,9 +163,15 @@ type lwState struct {
 	na, nb  int
 }
 
-// update applies the Lance-Williams recurrence to rows [lo, hi).
+// update applies the Lance-Williams recurrence to rows [lo, hi). It also
+// poisons the merged-away column mb to +Inf in every live row: dead slots
+// (and the diagonal, poisoned once at the start) then scan as +Inf, which
+// lets the nearest-neighbor search run the branch-free kernel.MinIdx over
+// whole rows instead of testing a dead bitset per entry. d[ma][mb] is
+// poisoned by the caller after the update (Ward reads it throughout).
 func (u *lwState) update(lo, hi int) {
 	d, n := u.d, u.n
+	inf := math.Inf(1)
 	for y := lo; y < hi; y++ {
 		if u.dead.Test(int32(y)) || int32(y) == u.ma || int32(y) == u.mb {
 			continue
@@ -185,6 +192,7 @@ func (u *lwState) update(lo, hi int) {
 		}
 		d[u.na+y] = nd
 		d[y*n+int(u.ma)] = nd
+		d[y*n+int(u.mb)] = inf
 	}
 }
 
@@ -199,6 +207,12 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 		for i := range d {
 			d[i] *= d[i]
 		}
+	}
+	// Poison the diagonal so the nearest-neighbor scans never select self;
+	// merged-away columns get the same treatment as clusters die, so the
+	// scan is a pure unmasked min over the row.
+	for i := 0; i < n; i++ {
+		d[i*n+i] = math.Inf(1)
 	}
 	size := w.Int32(n)
 	defer w.PutInt32(size)
@@ -239,25 +253,18 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 		for {
 			x := chain[len(chain)-1]
 			// Nearest active neighbor of x; prefer the previous chain
-			// element on ties so reciprocal pairs terminate.
+			// element on ties so reciprocal pairs terminate. Dead slots and
+			// the diagonal hold +Inf, so the scan is the unrolled unmasked
+			// min+argmin kernel over the whole row.
 			var prev int32 = -1
 			if len(chain) > 1 {
 				prev = chain[len(chain)-2]
 			}
-			best := prev
-			bestD := math.Inf(1)
-			if prev >= 0 {
-				bestD = d[x*int32(n)+prev]
-			}
 			row := d[int(x)*n : int(x)*n+n]
-			for y := 0; y < n; y++ {
-				if dead.Test(int32(y)) || int32(y) == x {
-					continue
-				}
-				if row[y] < bestD {
-					bestD = row[y]
-					best = int32(y)
-				}
+			bestD, bi := kernel.MinIdx(row)
+			best := int32(bi)
+			if prev >= 0 && row[prev] <= bestD {
+				best, bestD = prev, row[prev]
 			}
 			if best == prev && prev >= 0 {
 				// Reciprocal nearest neighbors: merge x and prev.
@@ -276,6 +283,10 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 				} else {
 					lw.update(0, n)
 				}
+				// The update skips rows a and b, so a's own slot for the dead
+				// column is poisoned here (after the update: Ward reads
+				// d[a][b] for every row).
+				d[int(a)*n+int(b)] = math.Inf(1)
 				size[a] += size[b]
 				dead.Set(b)
 				remaining--

@@ -1,0 +1,82 @@
+package kernel
+
+import "math"
+
+// finishB is the tile edge of the blocked Pearson finish pass. A 64×64
+// float64 tile is 32KB per matrix — the transposed writes of the mirror stay
+// within one L1-resident tile column instead of striding the full matrix.
+const finishB = 64
+
+// FinishTiles returns the number of tile rows the finish pass partitions an
+// n×n matrix into; callers parallelize FinishPearson over [0, FinishTiles).
+func FinishTiles(n int) int { return (n + finishB - 1) / finishB }
+
+// FinishPearson turns the raw upper-triangle dot products produced by
+// SyrkUpperBand into the final correlation matrix, processing tile rows
+// [b0, b1): the diagonal is pinned to 1, entries involving a zero-variance
+// series (zero[i] != 0) are pinned to 0, everything else is clamped to
+// [-1, 1], and each finished value is mirrored into the lower triangle.
+// When dis is non-nil, the metric dissimilarity √(2(1−p)) is written to both
+// triangles of dis in the same traversal, so deriving the dissimilarity
+// costs no extra pass over the matrix.
+//
+// Distinct tile rows touch disjoint entries (tile row b owns the upper
+// tiles of rows [b·B, b·B+B) and their mirror images), so callers may run
+// tile rows on different workers. The transform is elementwise and
+// bit-deterministic.
+func FinishPearson(sim, dis []float64, n int, zero []int32, b0, b1 int) {
+	for bi := b0; bi < b1; bi++ {
+		i0 := bi * finishB
+		i1 := min(i0+finishB, n)
+		for j0 := i0; j0 < n; j0 += finishB {
+			j1 := min(j0+finishB, n)
+			for i := i0; i < i1; i++ {
+				row := sim[i*n : (i+1)*n]
+				js := j0
+				if js <= i {
+					// Diagonal tile: handle the diagonal entry, then the
+					// strictly-upper remainder of the row.
+					row[i] = 1
+					if dis != nil {
+						dis[i*n+i] = 0
+					}
+					js = i + 1
+				}
+				if zero[i] != 0 {
+					for j := js; j < j1; j++ {
+						row[j] = 0
+						sim[j*n+i] = 0
+						if dis != nil {
+							d := math.Sqrt2
+							dis[i*n+j] = d
+							dis[j*n+i] = d
+						}
+					}
+					continue
+				}
+				for j := js; j < j1; j++ {
+					p := row[j]
+					switch {
+					case zero[j] != 0:
+						p = 0
+					case p > 1:
+						p = 1
+					case p < -1:
+						p = -1
+					}
+					row[j] = p
+					sim[j*n+i] = p
+					if dis != nil {
+						v := 2 * (1 - p)
+						if v < 0 {
+							v = 0
+						}
+						d := math.Sqrt(v)
+						dis[i*n+j] = d
+						dis[j*n+i] = d
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package kernel
+
+import "math"
+
+// MinIdx returns the minimum value of row and the smallest index attaining
+// it, or (+Inf, -1) when no entry is strictly below +Inf (including the
+// empty row). Four independent lanes strip-mine the row so the comparison
+// chains issue in parallel; the lane merge preserves the smallest-index tie
+// rule, so the result is identical to the naive ascending scan with a
+// strict-less update.
+func MinIdx(row []float64) (float64, int) {
+	inf := math.Inf(1)
+	m0, m1, m2, m3 := inf, inf, inf, inf
+	i0, i1, i2, i3 := -1, -1, -1, -1
+	t := 0
+	for ; t+4 <= len(row); t += 4 {
+		if v := row[t]; v < m0 {
+			m0, i0 = v, t
+		}
+		if v := row[t+1]; v < m1 {
+			m1, i1 = v, t+1
+		}
+		if v := row[t+2]; v < m2 {
+			m2, i2 = v, t+2
+		}
+		if v := row[t+3]; v < m3 {
+			m3, i3 = v, t+3
+		}
+	}
+	// Merge lanes: a lane wins on strictly smaller value, or on equal value
+	// with a smaller index (lanes interleave, so on ties the smaller index
+	// may sit in either lane). A lane is empty iff its index is -1, in
+	// which case its value is +Inf and can never win the strict compare.
+	m, i := m0, i0
+	if m1 < m || (m1 == m && i1 >= 0 && i1 < i) {
+		m, i = m1, i1
+	}
+	if m2 < m || (m2 == m && i2 >= 0 && i2 < i) {
+		m, i = m2, i2
+	}
+	if m3 < m || (m3 == m && i3 >= 0 && i3 < i) {
+		m, i = m3, i3
+	}
+	// Tail: indices are larger than every lane candidate, so strict less.
+	for ; t < len(row); t++ {
+		if v := row[t]; v < m {
+			m, i = v, t
+		}
+	}
+	return m, i
+}
+
+// MaxGain3 scans the candidate vertex ids (which must be in ascending order)
+// and returns the maximum of d0[u]+d1[u]+d2[u] together with the id
+// attaining it, breaking ties toward the smaller id. Returns (-Inf, -1) for
+// an empty candidate list. This is the TMFG gain recomputation: d0, d1, d2
+// are the similarity-matrix rows of a face's three vertices.
+func MaxGain3(d0, d1, d2 []float64, ids []int32) (float64, int32) {
+	ninf := math.Inf(-1)
+	g0, g1 := ninf, ninf
+	var b0, b1 int32 = -1, -1
+	t := 0
+	for ; t+2 <= len(ids); t += 2 {
+		u0, u1 := ids[t], ids[t+1]
+		v0 := d0[u0] + d1[u0] + d2[u0]
+		v1 := d0[u1] + d1[u1] + d2[u1]
+		if v0 > g0 {
+			g0, b0 = v0, u0
+		}
+		if v1 > g1 {
+			g1, b1 = v1, u1
+		}
+	}
+	// Merge lanes: the lanes interleave the ascending ids, so on equal
+	// gains the smaller id may sit in either lane.
+	g, b := g0, b0
+	if g1 > g || (g1 == g && b1 >= 0 && (b < 0 || b1 < b)) {
+		g, b = g1, b1
+	}
+	for ; t < len(ids); t++ {
+		u := ids[t]
+		if v := d0[u] + d1[u] + d2[u]; v > g {
+			g, b = v, u
+		}
+	}
+	return g, b
+}
+
+// MaxGather returns the maximum of row[id] over the gathered ids, two-lane
+// unrolled, or -Inf for an empty id list. Max is order-insensitive, so no
+// tie bookkeeping is needed.
+func MaxGather(row []float64, ids []int32) float64 {
+	ninf := math.Inf(-1)
+	m0, m1 := ninf, ninf
+	t := 0
+	for ; t+2 <= len(ids); t += 2 {
+		if v := row[ids[t]]; v > m0 {
+			m0 = v
+		}
+		if v := row[ids[t+1]]; v > m1 {
+			m1 = v
+		}
+	}
+	if m1 > m0 {
+		m0 = m1
+	}
+	for ; t < len(ids); t++ {
+		if v := row[ids[t]]; v > m0 {
+			m0 = v
+		}
+	}
+	return m0
+}
+
+// DissimRow writes dst[j] = √(max(0, 2(1−src[j]))), the metric
+// dissimilarity transform, unrolled so the independent sqrt chains overlap.
+func DissimRow(dst, src []float64) {
+	t := 0
+	for ; t+4 <= len(src); t += 4 {
+		v0 := 2 * (1 - src[t])
+		v1 := 2 * (1 - src[t+1])
+		v2 := 2 * (1 - src[t+2])
+		v3 := 2 * (1 - src[t+3])
+		if v0 < 0 {
+			v0 = 0
+		}
+		if v1 < 0 {
+			v1 = 0
+		}
+		if v2 < 0 {
+			v2 = 0
+		}
+		if v3 < 0 {
+			v3 = 0
+		}
+		dst[t] = math.Sqrt(v0)
+		dst[t+1] = math.Sqrt(v1)
+		dst[t+2] = math.Sqrt(v2)
+		dst[t+3] = math.Sqrt(v3)
+	}
+	for ; t < len(src); t++ {
+		v := 2 * (1 - src[t])
+		if v < 0 {
+			v = 0
+		}
+		dst[t] = math.Sqrt(v)
+	}
+}

@@ -1,0 +1,185 @@
+// Package kernel provides the register-tiled, cache-blocked numeric
+// primitives under the clustering pipeline's hot loops: a SYRK-style blocked
+// Pearson product, a 4-ary implicit heap for Dijkstra, unrolled
+// multi-accumulator scan kernels, and the fused Pearson finish pass.
+//
+// Every kernel is sequential over an explicit index range so callers drive
+// parallelism from an exec.Pool without the kernels knowing about it, and
+// every kernel is bit-deterministic: for a fixed input, the floating-point
+// result is independent of how the caller partitions the range across
+// workers. The SYRK kernel achieves this by accumulating each output entry
+// in ascending time order regardless of the micro-tile it lands in, so its
+// results are bit-identical to a naive sequential dot product.
+package kernel
+
+// SYRK tiling parameters. The micro-kernel computes a 2×4 tile of C = Z·Zᵀ:
+// 8 accumulators + 2 a-values + 4 b-values = 14 live float64s, the most that
+// fits amd64's 16 SSE registers without spilling under the Go compiler.
+// Each a-load is reused 4 times and each b-load twice, cutting the loads per
+// multiply-add from 2 (pairwise dot products) to 0.75.
+const (
+	syrkMR = 2 // rows of Z per micro-tile
+	syrkNR = 4 // columns of the tile (other rows of Z)
+
+	// syrkKC is the T-panel length: the kp-outer loop keeps a panel of
+	// n×syrkKC×8 bytes of Z hot in cache while every row pair of the band
+	// re-reads it. Accumulators resume from C between panels, preserving
+	// ascending-t accumulation order (and hence bit-determinism in the
+	// panel size).
+	syrkKC = 512
+)
+
+// SyrkUpperBand computes rows [i0, i1) of the upper triangle (j ≥ i) of the
+// n×n product C = Z·Zᵀ, where Z is n×l row-major (z[i*l+t]). Entries of C
+// outside the band's upper triangle are left untouched. Every C entry is the
+// sequential ascending-t dot product of its two Z rows, bit-identical to
+//
+//	for t := 0; t < l; t++ { c += z[i*l+t] * z[j*l+t] }
+//
+// so results do not depend on the band partition: callers may parallelize
+// over disjoint bands freely.
+func SyrkUpperBand(z []float64, n, l int, c []float64, i0, i1 int) {
+	if l == 0 {
+		for i := i0; i < i1; i++ {
+			row := c[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				row[j] = 0
+			}
+		}
+		return
+	}
+	for kp := 0; kp < l; kp += syrkKC {
+		kc := min(syrkKC, l-kp)
+		first := kp == 0
+		i := i0
+		for ; i+syrkMR <= i1; i += syrkMR {
+			syrkRowPair(z, n, l, c, i, kp, kc, first)
+		}
+		if i < i1 {
+			syrkRowSingle(z, n, l, c, i, kp, kc, first)
+		}
+	}
+}
+
+// syrkRowPair accumulates the panel [kp, kp+kc) of Z into C rows i and i+1
+// (upper triangle only). first selects store vs accumulate semantics.
+func syrkRowPair(z []float64, n, l int, c []float64, i, kp, kc int, first bool) {
+	a0 := z[i*l+kp : i*l+kp+kc : i*l+kp+kc]
+	a1 := z[(i+1)*l+kp : (i+1)*l+kp+kc : (i+1)*l+kp+kc]
+	ci0 := c[i*n : (i+1)*n]
+	ci1 := c[(i+1)*n : (i+2)*n]
+
+	// Diagonal corner: c[i][i], c[i][i+1], c[i+1][i+1].
+	var d00, d01, d11 float64
+	if !first {
+		d00, d01, d11 = ci0[i], ci0[i+1], ci1[i+1]
+	}
+	for t := 0; t < kc; t++ {
+		av0, av1 := a0[t], a1[t]
+		d00 += av0 * av0
+		d01 += av0 * av1
+		d11 += av1 * av1
+	}
+	ci0[i], ci0[i+1], ci1[i+1] = d00, d01, d11
+
+	// Main 2×4 micro-tiles over j ≥ i+2.
+	j := i + 2
+	for ; j+syrkNR <= n; j += syrkNR {
+		b0 := z[j*l+kp : j*l+kp+kc : j*l+kp+kc]
+		b1 := z[(j+1)*l+kp : (j+1)*l+kp+kc : (j+1)*l+kp+kc]
+		b2 := z[(j+2)*l+kp : (j+2)*l+kp+kc : (j+2)*l+kp+kc]
+		b3 := z[(j+3)*l+kp : (j+3)*l+kp+kc : (j+3)*l+kp+kc]
+		var c00, c01, c02, c03, c10, c11, c12, c13 float64
+		if !first {
+			c00, c01, c02, c03 = ci0[j], ci0[j+1], ci0[j+2], ci0[j+3]
+			c10, c11, c12, c13 = ci1[j], ci1[j+1], ci1[j+2], ci1[j+3]
+		}
+		for t := 0; t < kc; t++ {
+			av0, av1 := a0[t], a1[t]
+			bv := b0[t]
+			c00 += av0 * bv
+			c10 += av1 * bv
+			bv = b1[t]
+			c01 += av0 * bv
+			c11 += av1 * bv
+			bv = b2[t]
+			c02 += av0 * bv
+			c12 += av1 * bv
+			bv = b3[t]
+			c03 += av0 * bv
+			c13 += av1 * bv
+		}
+		ci0[j], ci0[j+1], ci0[j+2], ci0[j+3] = c00, c01, c02, c03
+		ci1[j], ci1[j+1], ci1[j+2], ci1[j+3] = c10, c11, c12, c13
+	}
+	// Remainder columns: 2×1 strips.
+	for ; j < n; j++ {
+		b := z[j*l+kp : j*l+kp+kc : j*l+kp+kc]
+		var c0, c1 float64
+		if !first {
+			c0, c1 = ci0[j], ci1[j]
+		}
+		for t := 0; t < kc; t++ {
+			bv := b[t]
+			c0 += a0[t] * bv
+			c1 += a1[t] * bv
+		}
+		ci0[j], ci1[j] = c0, c1
+	}
+}
+
+// syrkRowSingle accumulates the panel into a single C row i (for odd-sized
+// bands), with a 1×4 micro-kernel.
+func syrkRowSingle(z []float64, n, l int, c []float64, i, kp, kc int, first bool) {
+	a := z[i*l+kp : i*l+kp+kc : i*l+kp+kc]
+	ci := c[i*n : (i+1)*n]
+	var d float64
+	if !first {
+		d = ci[i]
+	}
+	for t := 0; t < kc; t++ {
+		av := a[t]
+		d += av * av
+	}
+	ci[i] = d
+	j := i + 1
+	for ; j+syrkNR <= n; j += syrkNR {
+		b0 := z[j*l+kp : j*l+kp+kc : j*l+kp+kc]
+		b1 := z[(j+1)*l+kp : (j+1)*l+kp+kc : (j+1)*l+kp+kc]
+		b2 := z[(j+2)*l+kp : (j+2)*l+kp+kc : (j+2)*l+kp+kc]
+		b3 := z[(j+3)*l+kp : (j+3)*l+kp+kc : (j+3)*l+kp+kc]
+		var c0, c1, c2, c3 float64
+		if !first {
+			c0, c1, c2, c3 = ci[j], ci[j+1], ci[j+2], ci[j+3]
+		}
+		for t := 0; t < kc; t++ {
+			av := a[t]
+			c0 += av * b0[t]
+			c1 += av * b1[t]
+			c2 += av * b2[t]
+			c3 += av * b3[t]
+		}
+		ci[j], ci[j+1], ci[j+2], ci[j+3] = c0, c1, c2, c3
+	}
+	for ; j < n; j++ {
+		b := z[j*l+kp : j*l+kp+kc : j*l+kp+kc]
+		var c0 float64
+		if !first {
+			c0 = ci[j]
+		}
+		for t := 0; t < kc; t++ {
+			c0 += a[t] * b[t]
+		}
+		ci[j] = c0
+	}
+}
+
+// Dot is the sequential ascending-index dot product, the scalar reference
+// every SYRK entry is bit-identical to.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for t := range a {
+		s += a[t] * b[t]
+	}
+	return s
+}

@@ -1,0 +1,63 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randZ(n, l int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := make([]float64, n*l)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	return z
+}
+
+// BenchmarkSyrkUpper measures the blocked kernel against the pairwise dot
+// loop it replaced, at the pipeline's benchmark shape.
+func BenchmarkSyrkUpper(b *testing.B) {
+	const n, l = 512, 1024
+	z := randZ(n, l, 1)
+	c := make([]float64, n*n)
+	b.SetBytes(int64(n) * int64(n) / 2 * int64(l) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SyrkUpperBand(z, n, l, c, 0, n)
+	}
+}
+
+func BenchmarkSyrkPairwiseDotRef(b *testing.B) {
+	const n, l = 512, 1024
+	z := randZ(n, l, 1)
+	c := make([]float64, n*n)
+	b.SetBytes(int64(n) * int64(n) / 2 * int64(l) * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < n; r++ {
+			zr := z[r*l : (r+1)*l]
+			row := c[r*n : (r+1)*n]
+			for j := r; j < n; j++ {
+				row[j] = dot4(zr, z[j*l:(j+1)*l])
+			}
+		}
+	}
+}
+
+// dot4 is the 4-way unrolled pairwise dot the matrix package used before the
+// blocked kernel; kept here as the benchmark reference.
+func dot4(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	t := 0
+	for ; t+4 <= len(a); t += 4 {
+		s0 += a[t] * b[t]
+		s1 += a[t+1] * b[t+1]
+		s2 += a[t+2] * b[t+2]
+		s3 += a[t+3] * b[t+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; t < len(a); t++ {
+		s += a[t] * b[t]
+	}
+	return s
+}

@@ -9,6 +9,7 @@ import (
 	"math"
 
 	"pfg/internal/exec"
+	"pfg/internal/kernel"
 	"pfg/internal/ws"
 )
 
@@ -100,24 +101,6 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 	return PearsonWS(ctx, pool, w, series)
 }
 
-// dot4 is the Pearson inner product, 4-way unrolled with independent
-// accumulators so the four chains issue in parallel on superscalar cores.
-func dot4(a, b []float64) float64 {
-	var s0, s1, s2, s3 float64
-	t := 0
-	for ; t+4 <= len(a); t += 4 {
-		s0 += a[t] * b[t]
-		s1 += a[t+1] * b[t+1]
-		s2 += a[t+2] * b[t+2]
-		s3 += a[t+3] * b[t+3]
-	}
-	s := (s0 + s1) + (s2 + s3)
-	for ; t < len(a); t++ {
-		s += a[t] * b[t]
-	}
-	return s
-}
-
 // PearsonWS computes the n×n Pearson correlation matrix of the given series
 // (each series[i] must have the same length ≥ 2, with finite values) on the
 // given pool, honouring cancellation at chunk boundaries, with workspace
@@ -126,20 +109,36 @@ func dot4(a, b []float64) float64 {
 // Degenerate inputs have pinned behavior: a zero-variance (constant) series
 // correlates 0 with every other series and 1 with itself — it never yields
 // NaN. Non-finite samples (NaN or ±Inf) are rejected with an error rather
-// than silently poisoning downstream TMFG gain comparisons. The computation
-// is parallel over row blocks.
+// than silently poisoning downstream TMFG gain comparisons.
+//
+// The product Z·Zᵀ runs on the register-tiled kernel.SyrkUpperBand, whose
+// entries are bit-identical to a sequential scalar dot product, so the
+// result does not depend on the worker count.
 func PearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (*Sym, error) {
+	sim, _, err := pearsonWS(ctx, pool, w, series, false)
+	return sim, err
+}
+
+// PearsonDissimWS computes the correlation matrix and its metric
+// dissimilarity √(2(1−p)) in one fused pass: the finish kernel derives the
+// dissimilarity while it mirrors the SYRK upper triangle, so the second
+// matrix costs no extra traversal. Both results are workspace-backed.
+func PearsonDissimWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (sim, dis *Sym, err error) {
+	return pearsonWS(ctx, pool, w, series, true)
+}
+
+func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64, wantDis bool) (*Sym, *Sym, error) {
 	n := len(series)
 	if n == 0 {
-		return nil, fmt.Errorf("matrix: no series")
+		return nil, nil, fmt.Errorf("matrix: no series")
 	}
 	l := len(series[0])
 	if l < 2 {
-		return nil, fmt.Errorf("matrix: series length %d < 2", l)
+		return nil, nil, fmt.Errorf("matrix: series length %d < 2", l)
 	}
 	for i, s := range series {
 		if len(s) != l {
-			return nil, fmt.Errorf("matrix: series %d has length %d, want %d", i, len(s), l)
+			return nil, nil, fmt.Errorf("matrix: series %d has length %d, want %d", i, len(s), l)
 		}
 	}
 	// Normalize each series to zero mean and unit L2 norm; the correlation
@@ -181,51 +180,43 @@ func PearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 		}
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	for i, b := range bad {
 		if b != 0 {
-			return nil, fmt.Errorf("matrix: series %d contains non-finite values", i)
+			return nil, nil, fmt.Errorf("matrix: series %d contains non-finite values", i)
 		}
 	}
 	m := NewSymWS(w, n)
-	err = pool.ForGrain(ctx, n, 4, func(i int) {
-		zi := zback[i*l : (i+1)*l]
-		row := m.Row(i)
-		for j := i; j < n; j++ {
-			var p float64
-			switch {
-			case i == j:
-				p = 1
-			case zero[i] != 0 || zero[j] != 0:
-				// p stays 0
-			default:
-				p = dot4(zi, zback[j*l:(j+1)*l])
-				// Clamp rounding noise so dissimilarities stay real.
-				if p > 1 {
-					p = 1
-				} else if p < -1 {
-					p = -1
-				}
-			}
-			row[j] = p
-		}
+	// Raw upper-triangle dot products via the blocked SYRK; bands of rows
+	// run in parallel, each band bit-deterministic on its own.
+	err = pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
+		kernel.SyrkUpperBand(zback, n, l, m.Data, lo, hi)
 	})
 	if err != nil {
 		m.Release(w)
-		return nil, err
+		return nil, nil, err
 	}
-	// Mirror the upper triangle.
-	err = pool.ForGrain(ctx, n, 16, func(i int) {
-		for j := 0; j < i; j++ {
-			m.Data[i*m.N+j] = m.Data[j*m.N+i]
-		}
+	var d *Sym
+	var disData []float64
+	if wantDis {
+		d = NewSymWS(w, n)
+		disData = d.Data
+	}
+	// Finish: clamp, zero-variance pinning, unit diagonal, mirror — and the
+	// fused dissimilarity when requested (disData nil otherwise) — in a
+	// single blocked traversal.
+	err = pool.ForBlocked(ctx, kernel.FinishTiles(n), 1, func(lo, hi int) {
+		kernel.FinishPearson(m.Data, disData, n, zero, lo, hi)
 	})
 	if err != nil {
 		m.Release(w)
-		return nil, err
+		if d != nil {
+			d.Release(w)
+		}
+		return nil, nil, err
 	}
-	return m, nil
+	return m, d, nil
 }
 
 // Dissimilarity converts a correlation matrix into the metric dissimilarity
@@ -244,18 +235,13 @@ func DissimilarityCtx(ctx context.Context, pool *exec.Pool, corr *Sym) (*Sym, er
 	return DissimilarityWS(ctx, pool, w, corr)
 }
 
-// DissimilarityWS is DissimilarityCtx with a workspace-backed result.
+// DissimilarityWS is DissimilarityCtx with a workspace-backed result. (When
+// the correlation matrix is also being computed, PearsonDissimWS derives the
+// dissimilarity in the same traversal instead.)
 func DissimilarityWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, corr *Sym) (*Sym, error) {
 	d := NewSymWS(w, corr.N)
 	err := pool.ForGrain(ctx, corr.N, 16, func(i int) {
-		src, dst := corr.Row(i), d.Row(i)
-		for j := range src {
-			v := 2 * (1 - src[j])
-			if v < 0 {
-				v = 0
-			}
-			dst[j] = math.Sqrt(v)
-		}
+		kernel.DissimRow(d.Row(i), corr.Row(i))
 	})
 	if err != nil {
 		d.Release(w)

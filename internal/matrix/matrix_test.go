@@ -1,10 +1,13 @@
 package matrix
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"pfg/internal/exec"
 )
 
 func naivePearson(a, b []float64) float64 {
@@ -221,5 +224,63 @@ func TestEdgeWeightSum(t *testing.T) {
 	got := EdgeWeightSum(m, [][2]int32{{0, 1}, {1, 2}})
 	if got != 3 {
 		t.Fatalf("got %v want 3", got)
+	}
+}
+
+// TestPearsonWorkersBitIdentical verifies the kernel determinism guarantee
+// at the pool level: the correlation (and fused dissimilarity) matrices are
+// bit-identical whatever the worker budget, because every SYRK entry
+// accumulates in a fixed order regardless of band partitioning.
+func TestPearsonWorkersBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const n, l = 67, 130
+	series := make([][]float64, n)
+	for i := range series {
+		s := make([]float64, l)
+		for t2 := range s {
+			s[t2] = rng.NormFloat64()
+		}
+		series[i] = s
+	}
+	series[5] = make([]float64, l) // constant series: zero-variance path
+	ctx := context.Background()
+
+	p1 := exec.New(1)
+	defer p1.Close()
+	sim1, dis1, err := PearsonDissimWS(ctx, p1, nil, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		p := exec.New(workers)
+		sim, dis, err := PearsonDissimWS(ctx, p, nil, series)
+		p.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range sim.Data {
+			if math.Float64bits(sim.Data[i]) != math.Float64bits(sim1.Data[i]) {
+				t.Fatalf("workers=%d: sim[%d] differs: %v vs %v", workers, i, sim.Data[i], sim1.Data[i])
+			}
+			if math.Float64bits(dis.Data[i]) != math.Float64bits(dis1.Data[i]) {
+				t.Fatalf("workers=%d: dis[%d] differs", workers, i)
+			}
+		}
+	}
+
+	// The fused pair must match the unfused path exactly.
+	simU, err := PearsonCtx(ctx, p1, series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disU, err := DissimilarityCtx(ctx, p1, simU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range simU.Data {
+		if math.Float64bits(simU.Data[i]) != math.Float64bits(sim1.Data[i]) ||
+			math.Float64bits(disU.Data[i]) != math.Float64bits(dis1.Data[i]) {
+			t.Fatalf("fused and unfused paths diverge at %d", i)
+		}
 	}
 }

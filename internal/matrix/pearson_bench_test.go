@@ -1,69 +1,102 @@
 package matrix
 
 import (
+	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 )
 
-// BenchmarkPearson guards the unrolled correlation inner product (the hot
-// loop of the pipeline's first stage).
+// BenchmarkPearson guards the blocked correlation kernel (the hot loop of
+// the pipeline's first stage) across series lengths: T=256 is compute-light
+// (the O(n²) finish pass matters), T=4096 is a pure Z·Zᵀ stress where the
+// register tiling's data reuse dominates.
 func BenchmarkPearson(b *testing.B) {
-	const n, l = 256, 1024
-	rng := rand.New(rand.NewSource(1))
-	series := make([][]float64, n)
-	for i := range series {
-		s := make([]float64, l)
-		for t := range s {
-			s[t] = rng.NormFloat64()
-		}
-		series[i] = s
-	}
-	b.SetBytes(int64(n * n / 2 * l * 8))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := Pearson(series); err != nil {
-			b.Fatal(err)
-		}
+	const n = 512
+	for _, l := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d/T=%d", n, l), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			series := make([][]float64, n)
+			for i := range series {
+				s := make([]float64, l)
+				for t := range s {
+					s[t] = rng.NormFloat64()
+				}
+				series[i] = s
+			}
+			// Warm-up so b.N iterations run on a warm workspace pool.
+			if _, err := Pearson(series); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n * n / 2 * l * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Pearson(series); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
-func BenchmarkDot4(b *testing.B) {
-	const l = 4096
-	x := make([]float64, l)
-	y := make([]float64, l)
-	rng := rand.New(rand.NewSource(2))
-	for i := range x {
-		x[i] = rng.NormFloat64()
-		y[i] = rng.NormFloat64()
-	}
-	b.SetBytes(int64(2 * l * 8))
-	var sink float64
-	for i := 0; i < b.N; i++ {
-		sink += dot4(x, y)
-	}
-	benchSink = sink
-}
-
-var benchSink float64
-
-// TestDot4MatchesNaive pins the unrolled kernel to the straightforward loop
-// (exact equality is not required across orders; 1e-12 relative slack).
-func TestDot4MatchesNaive(t *testing.T) {
+// TestPearsonMatchesScalarReference pins the blocked SYRK path to the naive
+// scalar implementation: normalize, sequential dot products, clamp. The
+// kernel accumulates in the same ascending-t order, so entries must agree to
+// well within 1e-12 (they are in fact bit-identical).
+func TestPearsonMatchesScalarReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	for _, l := range []int{0, 1, 2, 3, 4, 5, 7, 8, 63, 100, 1023} {
-		x := make([]float64, l)
-		y := make([]float64, l)
-		for i := 0; i < l; i++ {
-			x[i] = rng.NormFloat64()
-			y[i] = rng.NormFloat64()
+	for _, tc := range []struct{ n, l int }{{1, 2}, {2, 5}, {3, 7}, {7, 33}, {17, 64}, {64, 96}, {65, 100}} {
+		series := make([][]float64, tc.n)
+		for i := range series {
+			s := make([]float64, tc.l)
+			for t2 := range s {
+				s[t2] = rng.NormFloat64()
+			}
+			series[i] = s
 		}
-		want := 0.0
-		for i := 0; i < l; i++ {
-			want += x[i] * y[i]
+		m, err := Pearson(series)
+		if err != nil {
+			t.Fatal(err)
 		}
-		got := dot4(x, y)
-		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
-			t.Fatalf("l=%d: dot4=%v naive=%v", l, got, want)
+		// Scalar reference.
+		z := make([][]float64, tc.n)
+		for i, s := range series {
+			mean := 0.0
+			for _, v := range s {
+				mean += v
+			}
+			mean /= float64(tc.l)
+			ss := 0.0
+			zi := make([]float64, tc.l)
+			for t2, v := range s {
+				zi[t2] = v - mean
+				ss += zi[t2] * zi[t2]
+			}
+			inv := 1 / math.Sqrt(ss)
+			for t2 := range zi {
+				zi[t2] *= inv
+			}
+			z[i] = zi
+		}
+		for i := 0; i < tc.n; i++ {
+			for j := 0; j < tc.n; j++ {
+				want := 0.0
+				for t2 := 0; t2 < tc.l; t2++ {
+					want += z[i][t2] * z[j][t2]
+				}
+				if want > 1 {
+					want = 1
+				} else if want < -1 {
+					want = -1
+				}
+				if i == j {
+					want = 1
+				}
+				if diff := math.Abs(m.At(i, j) - want); diff > 1e-12 {
+					t.Fatalf("n=%d l=%d: p(%d,%d)=%v, scalar %v (|Δ|=%g)", tc.n, tc.l, i, j, m.At(i, j), want, diff)
+				}
+			}
 		}
 	}
 }

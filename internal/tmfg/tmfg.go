@@ -29,6 +29,7 @@ import (
 	"pfg/internal/bubbletree"
 	"pfg/internal/exec"
 	"pfg/internal/graph"
+	"pfg/internal/kernel"
 	"pfg/internal/matrix"
 	"pfg/internal/ws"
 )
@@ -278,21 +279,18 @@ func (b *builder) initClique() error {
 	return nil
 }
 
-// recomputeGain scans the remaining vertices to find face fi's best vertex.
-// Safe to call from parallel goroutines (writes only to faces[fi]).
+// recomputeGain scans the remaining vertices to find face fi's best vertex
+// with the unrolled max-gain kernel (remaining is sorted ascending, so the
+// kernel's smaller-id tie rule matches the sequential scan). Safe to call
+// from parallel goroutines (writes only to faces[fi]).
 func (b *builder) recomputeGain(fi int32) {
 	f := &b.faces[fi]
-	f.best = -1
-	f.gain = math.Inf(-1)
-	r0, r1, r2 := int(f.v[0])*b.s.N, int(f.v[1])*b.s.N, int(f.v[2])*b.s.N
+	n := b.s.N
 	data := b.s.Data
-	for _, u := range b.remaining {
-		g := data[r0+int(u)] + data[r1+int(u)] + data[r2+int(u)]
-		if g > f.gain || (g == f.gain && u < f.best) {
-			f.best = u
-			f.gain = g
-		}
-	}
+	d0 := data[int(f.v[0])*n : int(f.v[0])*n+n]
+	d1 := data[int(f.v[1])*n : int(f.v[1])*n+n]
+	d2 := data[int(f.v[2])*n : int(f.v[2])*n+n]
+	f.gain, f.best = kernel.MaxGain3(d0, d1, d2, b.remaining)
 }
 
 // round executes one batch-insertion round (Lines 9–17 of Algorithm 1),

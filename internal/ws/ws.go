@@ -75,20 +75,26 @@ func (w *Workspace) PutBitset(s *bitset.Set) {
 }
 
 // Int32 returns an int32 buffer of length n with unspecified contents.
-// Return it with PutInt32.
+// Return it with PutInt32. Selection is best-fit: the smallest adequate
+// buffer is taken, so a small request cannot consume an n²-sized buffer and
+// force the next large request to allocate.
 func (w *Workspace) Int32(n int) []int32 {
 	if w == nil {
 		return make([]int32, n)
 	}
 	w.mu.Lock()
+	best := -1
 	for k := len(w.i32) - 1; k >= 0; k-- {
-		if cap(w.i32[k]) >= n {
-			s := w.i32[k]
-			w.i32[k] = w.i32[len(w.i32)-1]
-			w.i32 = w.i32[:len(w.i32)-1]
-			w.mu.Unlock()
-			return s[:n]
+		if c := cap(w.i32[k]); c >= n && (best < 0 || c < cap(w.i32[best])) {
+			best = k
 		}
+	}
+	if best >= 0 {
+		s := w.i32[best]
+		w.i32[best] = w.i32[len(w.i32)-1]
+		w.i32 = w.i32[:len(w.i32)-1]
+		w.mu.Unlock()
+		return s[:n]
 	}
 	w.mu.Unlock()
 	return make([]int32, n)
@@ -105,20 +111,24 @@ func (w *Workspace) PutInt32(s []int32) {
 }
 
 // Float64 returns a float64 buffer of length n with unspecified contents.
-// Return it with PutFloat64.
+// Return it with PutFloat64. Selection is best-fit, as in Int32.
 func (w *Workspace) Float64(n int) []float64 {
 	if w == nil {
 		return make([]float64, n)
 	}
 	w.mu.Lock()
+	best := -1
 	for k := len(w.f64) - 1; k >= 0; k-- {
-		if cap(w.f64[k]) >= n {
-			s := w.f64[k]
-			w.f64[k] = w.f64[len(w.f64)-1]
-			w.f64 = w.f64[:len(w.f64)-1]
-			w.mu.Unlock()
-			return s[:n]
+		if c := cap(w.f64[k]); c >= n && (best < 0 || c < cap(w.f64[best])) {
+			best = k
 		}
+	}
+	if best >= 0 {
+		s := w.f64[best]
+		w.f64[best] = w.f64[len(w.f64)-1]
+		w.f64 = w.f64[:len(w.f64)-1]
+		w.mu.Unlock()
+		return s[:n]
 	}
 	w.mu.Unlock()
 	return make([]float64, n)

@@ -118,6 +118,11 @@ func Cluster(series [][]float64, opts Options) (*Result, error) {
 // before the call ends, so repeated calls on same-shaped inputs run at
 // steady state with near-zero allocation churn.
 func ClusterContext(ctx context.Context, series [][]float64, opts Options) (*Result, error) {
+	// Reject invalid options and undersized inputs before the O(n²·T)
+	// correlation stage runs.
+	if err := validateOptions(len(series), opts); err != nil {
+		return nil, err
+	}
 	pool, release := poolFor(opts)
 	defer release()
 	w := ws.Get()
@@ -162,8 +167,31 @@ func poolFor(opts Options) (*exec.Pool, func()) {
 	return p, p.Close
 }
 
+// validateOptions rejects invalid options and inputs too small for the
+// selected method with a clear error, instead of a panic deep inside a
+// pipeline stage (or wasted work before a later rejection).
+func validateOptions(n int, opts Options) error {
+	if opts.Prefix < 0 {
+		return fmt.Errorf("pfg: Prefix must be ≥ 0 (0 selects the default), got %d", opts.Prefix)
+	}
+	switch opts.Method {
+	case TMFGDBHT, PMFGDBHT:
+		if n < 4 {
+			return fmt.Errorf("pfg: %v needs at least 4 series, have %d", opts.Method, n)
+		}
+	case CompleteLinkage, AverageLinkage:
+		if n < 2 {
+			return fmt.Errorf("pfg: %v needs at least 2 series, have %d", opts.Method, n)
+		}
+	}
+	return nil
+}
+
 func clusterMatrixOn(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim, dis *Matrix, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := validateOptions(sim.N, opts); err != nil {
 		return nil, err
 	}
 	if opts.Prefix == 0 {

@@ -1,6 +1,7 @@
 package pfg
 
 import (
+	"strings"
 	"testing"
 
 	"pfg/internal/tsgen"
@@ -88,6 +89,56 @@ func TestUnknownMethodRejected(t *testing.T) {
 	ds := tsgen.GenerateClassed("api", 20, 32, 2, 0.3, 11)
 	if _, err := Cluster(ds.Series, Options{Method: Method(99)}); err == nil {
 		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestNegativePrefixRejected(t *testing.T) {
+	ds := tsgen.GenerateClassed("api", 20, 32, 2, 0.3, 11)
+	for _, m := range []Method{TMFGDBHT, PMFGDBHT, CompleteLinkage, AverageLinkage} {
+		_, err := Cluster(ds.Series, Options{Method: m, Prefix: -1})
+		if err == nil {
+			t.Fatalf("%v: negative Prefix accepted", m)
+		}
+		if !strings.Contains(err.Error(), "Prefix") {
+			t.Fatalf("%v: unhelpful error for negative Prefix: %v", m, err)
+		}
+	}
+}
+
+// TestUndersizedInputsRejected checks that inputs too small for the selected
+// method produce a clear validation error from Cluster/ClusterMatrix rather
+// than a panic deep inside the pipeline.
+func TestUndersizedInputsRejected(t *testing.T) {
+	for _, tc := range []struct {
+		method Method
+		n      int // one fewer series than the method's minimum
+	}{
+		{TMFGDBHT, 3},
+		{PMFGDBHT, 3},
+		{CompleteLinkage, 1},
+		{AverageLinkage, 1},
+	} {
+		ds := tsgen.GenerateClassed("api", tc.n, 32, 1, 0.3, 11)
+		_, err := Cluster(ds.Series, Options{Method: tc.method})
+		if err == nil {
+			t.Fatalf("%v: n=%d accepted", tc.method, tc.n)
+		}
+		if !strings.Contains(err.Error(), tc.method.String()) {
+			t.Fatalf("%v: error does not name the method: %v", tc.method, err)
+		}
+		// The matrix entry point must validate identically.
+		sim, perr := Pearson(ds.Series)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		if _, err := ClusterMatrix(sim, nil, Options{Method: tc.method}); err == nil {
+			t.Fatalf("%v: ClusterMatrix accepted n=%d", tc.method, tc.n)
+		}
+		// One more series reaches the minimum and must succeed.
+		ds2 := tsgen.GenerateClassed("api", tc.n+1, 32, 1, 0.3, 11)
+		if _, err := Cluster(ds2.Series, Options{Method: tc.method}); err != nil {
+			t.Fatalf("%v: minimum size n=%d rejected: %v", tc.method, tc.n+1, err)
+		}
 	}
 }
 
