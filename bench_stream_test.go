@@ -1,0 +1,116 @@
+package pfg
+
+// Steady-state streaming benchmarks, the numbers recorded in
+// BENCH_stream.json: a full serving tick (Push + Snapshot) against the batch
+// recompute (ClusterContext over the same window) it replaces. Run both
+// interleaved on the same window shape:
+//
+//	go test -bench 'BenchmarkStream' -benchmem -run '^$' .
+//
+// The tick side maintains the O(n²) rolling moment band (with the periodic
+// exact rebuild included in the measured loop — it is part of the amortized
+// tick cost); the batch side pays the O(n²·T) correlation every call.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+const (
+	benchStreamWindow = 4096 // T: the batch recompute this replaces is O(n²·T)
+	benchStreamLen    = 96   // series length of the warm tsgen data is irrelevant here
+)
+
+var streamBenchCases = []struct {
+	method Method
+	n      int
+}{
+	{CompleteLinkage, 128},
+	{CompleteLinkage, 512},
+	{TMFGDBHT, 128},
+	{TMFGDBHT, 512},
+}
+
+// benchTicks pregenerates one window's worth of ticks; benchmarks cycle
+// through them so the window content stays statistically identical while
+// every push still slides the window.
+func benchTicks(n int) [][]float64 {
+	rng := rand.New(rand.NewSource(42))
+	ticks := make([][]float64, benchStreamWindow)
+	for k := range ticks {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		ticks[k] = x
+	}
+	return ticks
+}
+
+// BenchmarkStreamTick measures one steady-state serving tick: Push one
+// sample into a full window, then Snapshot (finish + cluster). Workers:1
+// keeps the run deterministic and single-threaded, matching the batch side.
+func BenchmarkStreamTick(b *testing.B) {
+	for _, tc := range streamBenchCases {
+		b.Run(fmt.Sprintf("%v/n=%d/W=%d", tc.method, tc.n, benchStreamWindow), func(b *testing.B) {
+			ticks := benchTicks(tc.n)
+			st, err := NewStreamer(benchStreamWindow, StreamOptions{
+				Cluster: Options{Method: tc.method, Prefix: 10, Workers: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer st.Close()
+			for _, x := range ticks {
+				if err := st.Push(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// One warm-up tick so b.N iterations measure steady state.
+			if _, err := st.Snapshot(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Push(ticks[i%len(ticks)]); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := st.Snapshot(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStreamBatchRecompute is the per-tick cost streaming replaces:
+// a full ClusterContext (O(n²·T) Pearson + clustering) over the same window.
+func BenchmarkStreamBatchRecompute(b *testing.B) {
+	for _, tc := range streamBenchCases {
+		b.Run(fmt.Sprintf("%v/n=%d/T=%d", tc.method, tc.n, benchStreamWindow), func(b *testing.B) {
+			ticks := benchTicks(tc.n)
+			series := make([][]float64, tc.n)
+			for i := range series {
+				row := make([]float64, benchStreamWindow)
+				for k := range row {
+					row[k] = ticks[k][i]
+				}
+				series[i] = row
+			}
+			opts := Options{Method: tc.method, Prefix: 10, Workers: 1}
+			if _, err := Cluster(series, opts); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := Cluster(series, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

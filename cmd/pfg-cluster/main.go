@@ -10,12 +10,29 @@
 // (ignored for clustering); adding -ari prints the Adjusted Rand Index
 // against it instead of the labels. -newick writes the full dendrogram in
 // Newick format to the given file.
+//
+// Follow mode flips the orientation for streaming: every CSV row is one tick
+// (one observation per series, n columns), rows arrive in time order, and
+// the tool re-clusters a rolling window as they do:
+//
+//	pfg-cluster -follow -window 256 -k 8 [-every 16] [-rebuild 256] ticks.csv
+//
+// ("-" reads ticks from stdin.) Once the window holds at least two samples,
+// every -every ticks it prints one line "tick <t>: <labels...>", and a final
+// snapshot at EOF. The rolling correlation state updates in O(n²) per tick
+// instead of recomputing the O(n²·T) batch correlation; -rebuild is the
+// drift-rebuild period K (exact recompute every K window slides).
 package main
 
 import (
+	"context"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
 	"pfg"
 	"pfg/internal/dataio"
@@ -28,6 +45,10 @@ func main() {
 	labeled := flag.Bool("labeled", false, "treat the last column of each row as a class label")
 	ari := flag.Bool("ari", false, "with -labeled: print the ARI against the labels instead of cluster ids")
 	newick := flag.String("newick", "", "write the dendrogram in Newick format to this file")
+	follow := flag.Bool("follow", false, "streaming mode: rows are ticks (one observation per series); re-cluster a rolling window")
+	window := flag.Int("window", 256, "with -follow: rolling window length in ticks")
+	every := flag.Int("every", 16, "with -follow: print a snapshot every this many ticks")
+	rebuild := flag.Int("rebuild", 0, "with -follow: exact drift-rebuild period K in window slides (0 = default)")
 	flag.Parse()
 	if *k < 1 || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pfg-cluster -k K [flags] data.csv")
@@ -36,10 +57,6 @@ func main() {
 	}
 	if *ari && !*labeled {
 		fatal(fmt.Errorf("-ari requires -labeled"))
-	}
-	series, truth, err := dataio.ReadSeriesFile(flag.Arg(0), *labeled)
-	if err != nil {
-		fatal(err)
 	}
 	var m pfg.Method
 	switch *method {
@@ -54,7 +71,21 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
-	res, err := pfg.Cluster(series, pfg.Options{Method: m, Prefix: *prefix})
+	opts := pfg.Options{Method: m, Prefix: *prefix}
+	if *follow {
+		if *labeled || *ari || *newick != "" {
+			fatal(fmt.Errorf("-follow does not support -labeled/-ari/-newick"))
+		}
+		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	series, truth, err := dataio.ReadSeriesFile(flag.Arg(0), *labeled)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := pfg.Cluster(series, opts)
 	if err != nil {
 		fatal(err)
 	}
@@ -82,6 +113,88 @@ func main() {
 	for _, l := range labels {
 		fmt.Println(l)
 	}
+}
+
+// runFollow drives the streaming engine over a tick-oriented CSV: each row
+// is one sample across all series, pushed in file order.
+func runFollow(path string, k, window, every, rebuild int, opts pfg.Options) error {
+	if every < 1 {
+		return fmt.Errorf("-every must be ≥ 1, got %d", every)
+	}
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	st, err := pfg.NewStreamer(window, pfg.StreamOptions{Cluster: opts, RebuildEvery: rebuild})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	snapshotAt := func(tick int) error {
+		res, err := st.Snapshot(context.Background())
+		if err != nil {
+			return fmt.Errorf("tick %d: %w", tick, err)
+		}
+		labels, err := res.Cut(k)
+		if err != nil {
+			return fmt.Errorf("tick %d: %w", tick, err)
+		}
+		parts := make([]string, len(labels))
+		for i, l := range labels {
+			parts[i] = fmt.Sprint(l)
+		}
+		fmt.Printf("tick %d: %s\n", tick, strings.Join(parts, " "))
+		return nil
+	}
+	// Parse and push one row at a time so snapshots appear while a live
+	// feed is still open (and memory stays bounded by the window).
+	cr := csv.NewReader(r)
+	cr.ReuseRecord = true
+	var x []float64
+	tick, printed := 0, -1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if x == nil {
+			// csv.Reader pins FieldsPerRecord to the first row's width, so
+			// later rows are guaranteed the same arity.
+			x = make([]float64, len(rec))
+		}
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return fmt.Errorf("tick %d col %d: %w", tick+1, i+1, err)
+			}
+			x[i] = v
+		}
+		if err := st.Push(x); err != nil {
+			return fmt.Errorf("tick %d: %w", tick+1, err)
+		}
+		tick++
+		if st.Len() >= 2 && tick%every == 0 {
+			if err := snapshotAt(tick); err != nil {
+				return err
+			}
+			printed = tick
+		}
+	}
+	if st.Len() < 2 {
+		return fmt.Errorf("input held %d ticks; need at least 2 for a snapshot", tick)
+	}
+	if printed != tick { // final snapshot at EOF
+		return snapshotAt(tick)
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,184 @@
+package main
+
+// Smoke tests that build the real binary and drive it over fixture CSVs,
+// asserting exit codes and parseable output — the integration layer the unit
+// tests can't cover (flag wiring, CSV ingestion, process exit paths).
+
+import (
+	"bufio"
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pfg/internal/dataio"
+	"pfg/internal/tsgen"
+)
+
+// buildBinary compiles pfg-cluster into a temp dir once per test run.
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pfg-cluster")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// writeFixture materializes a labeled series CSV (row per series) and its
+// tick-oriented transpose (row per tick) for follow mode.
+func writeFixture(t *testing.T, dir string) (seriesCSV, ticksCSV string, n, length int) {
+	t.Helper()
+	ds := tsgen.GenerateClassed("cli", 24, 40, 3, 0.4, 5)
+	n, length = len(ds.Series), ds.Length
+	seriesCSV = filepath.Join(dir, "series.csv")
+	if err := dataio.WriteSeriesFile(seriesCSV, ds.Series, ds.Labels); err != nil {
+		t.Fatal(err)
+	}
+	ticks := make([][]float64, length)
+	for k := range ticks {
+		row := make([]float64, n)
+		for i := range row {
+			row[i] = ds.Series[i][k]
+		}
+		ticks[k] = row
+	}
+	ticksCSV = filepath.Join(dir, "ticks.csv")
+	if err := dataio.WriteSeriesFile(ticksCSV, ticks, nil); err != nil {
+		t.Fatal(err)
+	}
+	return seriesCSV, ticksCSV, n, length
+}
+
+func TestCLISmoke(t *testing.T) {
+	bin := buildBinary(t)
+	dir := t.TempDir()
+	seriesCSV, ticksCSV, n, length := writeFixture(t, dir)
+
+	t.Run("batch", func(t *testing.T) {
+		out, err := exec.Command(bin, "-k", "3", "-labeled", "-method", "complete", seriesCSV).Output()
+		if err != nil {
+			t.Fatalf("batch run failed: %v", err)
+		}
+		lines := nonEmptyLines(out)
+		if len(lines) != n {
+			t.Fatalf("%d label lines for %d series", len(lines), n)
+		}
+		for _, l := range lines {
+			v, err := strconv.Atoi(l)
+			if err != nil || v < 0 || v >= 3 {
+				t.Fatalf("bad label line %q", l)
+			}
+		}
+	})
+
+	t.Run("batch-ari-newick", func(t *testing.T) {
+		nwk := filepath.Join(dir, "tree.nwk")
+		out, err := exec.Command(bin, "-k", "3", "-labeled", "-ari", "-newick", nwk, seriesCSV).Output()
+		if err != nil {
+			t.Fatalf("ari run failed: %v", err)
+		}
+		if !strings.HasPrefix(strings.TrimSpace(string(out)), "ARI ") {
+			t.Fatalf("unexpected -ari output %q", out)
+		}
+		tree, err := os.ReadFile(nwk)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s := strings.TrimSpace(string(tree)); !strings.HasSuffix(s, ";") {
+			t.Fatalf("newick file does not end with ';': %q", s)
+		}
+	})
+
+	t.Run("follow", func(t *testing.T) {
+		window := length / 2
+		out, err := exec.Command(bin, "-follow", "-k", "3", "-method", "complete",
+			"-window", strconv.Itoa(window), "-every", "8", "-rebuild", "4", ticksCSV).Output()
+		if err != nil {
+			t.Fatalf("follow run failed: %v", err)
+		}
+		lines := nonEmptyLines(out)
+		// Snapshots at ticks 8,16,...,length — at least every-th tick plus
+		// the EOF snapshot rule.
+		if want := length / 8; len(lines) < want {
+			t.Fatalf("%d snapshot lines, want ≥ %d:\n%s", len(lines), want, out)
+		}
+		for _, l := range lines {
+			rest, ok := strings.CutPrefix(l, "tick ")
+			if !ok {
+				t.Fatalf("bad snapshot line %q", l)
+			}
+			tickStr, labelStr, ok := strings.Cut(rest, ": ")
+			if !ok {
+				t.Fatalf("bad snapshot line %q", l)
+			}
+			if _, err := strconv.Atoi(tickStr); err != nil {
+				t.Fatalf("bad tick in %q", l)
+			}
+			labels := strings.Fields(labelStr)
+			if len(labels) != n {
+				t.Fatalf("%d labels in %q, want %d", len(labels), l, n)
+			}
+			for _, s := range labels {
+				if v, err := strconv.Atoi(s); err != nil || v < 0 || v >= 3 {
+					t.Fatalf("bad label %q in %q", s, l)
+				}
+			}
+		}
+	})
+
+	t.Run("follow-stdin", func(t *testing.T) {
+		data, err := os.ReadFile(ticksCSV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd := exec.Command(bin, "-follow", "-k", "2", "-method", "average", "-window", "16", "-every", "40", "-")
+		cmd.Stdin = bytes.NewReader(data)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("stdin follow failed: %v", err)
+		}
+		if lines := nonEmptyLines(out); len(lines) != 1 { // 40 ticks → one snapshot at EOF
+			t.Fatalf("want exactly the EOF snapshot, got %d lines:\n%s", len(lines), out)
+		}
+	})
+
+	t.Run("errors", func(t *testing.T) {
+		oneTick := filepath.Join(dir, "one_tick.csv")
+		if err := os.WriteFile(oneTick, []byte("1,2,3\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for _, args := range [][]string{
+			{"-follow", "-k", "2", oneTick}, // under 2 ticks: clear error, not a crash
+			{seriesCSV},                     // missing -k
+			{"-k", "3", "-method", "bogus", seriesCSV},
+			{"-k", "3", "-ari", seriesCSV},    // -ari without -labeled
+			{"-k", "3", dir + "/missing.csv"}, // unreadable input
+			{"-follow", "-k", "3", "-labeled", ticksCSV},
+			{"-follow", "-k", "3", "-newick", dir + "/t.nwk", ticksCSV},
+			{"-follow", "-k", "3", "-every", "0", ticksCSV},
+			{"-follow", "-k", "3", "-window", "1", ticksCSV},
+		} {
+			if err := exec.Command(bin, args...).Run(); err == nil {
+				t.Fatalf("args %v: expected non-zero exit", args)
+			}
+		}
+	})
+}
+
+func nonEmptyLines(out []byte) []string {
+	var lines []string
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if s := strings.TrimSpace(sc.Text()); s != "" {
+			lines = append(lines, s)
+		}
+	}
+	return lines
+}

@@ -26,6 +26,28 @@
 // For cancellation and per-call concurrency budgets, use ClusterContext /
 // ClusterMatrixContext with Options.Workers.
 //
+// # Streaming
+//
+// For continuous serving, Streamer keeps a rolling window and re-clusters
+// it on every new observation without the O(n²·T) batch correlation
+// recompute: Push maintains the window's Pearson moments incrementally in
+// O(n²) (rank-1 update + downdate of the cross-product band), and
+// Snapshot finishes them into matrices and clusters with the configured
+// method. Snapshots are bit-identical to batch Cluster over the same
+// window while the window fills and right after every drift rebuild (the
+// StreamOptions.RebuildEvery knob); Push/Rebuild are single-writer,
+// Snapshot may run concurrently with both. The layer stack becomes
+//
+//	serving     pfg.Streamer + internal/stream (stateful rolling windows)
+//	api         pfg.Cluster / ClusterContext (stateless batch calls)
+//	algorithms  internal/{matrix, tmfg, pmfg, dbht, hac, graph, ...}
+//	kernels     internal/kernel (SYRK, rank-1 roll, finish, heap, scans)
+//	memory      internal/ws + internal/bitset (flat pooled scratch)
+//	execution   internal/exec (bounded context-aware worker pools)
+//
+// See README.md ("Streaming") for the exactness guarantee and the
+// concurrency contract, and BENCH_stream.json for measured tick costs.
+//
 // # Memory behavior
 //
 // Every call runs on flat memory — CSR graphs and groupings, dense bitsets

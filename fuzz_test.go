@@ -1,0 +1,80 @@
+package pfg
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// fuzzSym builds an n×n symmetric matrix from a fuzz payload: upper-triangle
+// entries are 8 raw bytes reinterpreted as float64 (cycled when the payload
+// is short) and mirrored, so the input is symmetric by construction but
+// otherwise arbitrary — non-finite values, non-metric dissimilarities,
+// out-of-range "correlations", constant rows.
+func fuzzSym(n int, data []byte) *Matrix {
+	m := &Matrix{N: n, Data: make([]float64, n*n)}
+	pos := 0
+	var buf [8]byte
+	next := func() float64 {
+		for b := range buf {
+			if len(data) == 0 {
+				buf[b] = byte(pos * 31)
+			} else {
+				buf[b] = data[pos%len(data)]
+			}
+			pos++
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := next()
+			m.Data[i*n+j] = v
+			m.Data[j*n+i] = v
+		}
+	}
+	return m
+}
+
+// FuzzClusterMatrix: arbitrary symmetric inputs through every method must
+// either be rejected with an error (non-finite entries, undersized inputs)
+// or produce a dendrogram that cuts cleanly — never panic and never hang.
+// Workers:1 keeps each execution deterministic, so any crasher the fuzzer
+// finds minimizes reproducibly.
+func FuzzClusterMatrix(f *testing.F) {
+	f.Add(uint8(6), uint8(0), uint8(2), []byte{})
+	f.Add(uint8(4), uint8(1), uint8(1), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}) // NaN
+	f.Add(uint8(8), uint8(2), uint8(3), []byte{0x3f, 0xf0, 0, 0, 0, 0, 0, 0})
+	f.Add(uint8(12), uint8(3), uint8(4), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(uint8(3), uint8(0), uint8(1), []byte{7}) // below the TMFG minimum: must error
+	f.Add(uint8(16), uint8(0), uint8(2), []byte{0, 0, 0, 0, 0, 0, 0xe0, 0x47})
+	f.Fuzz(func(t *testing.T, nRaw, methodRaw, kRaw uint8, data []byte) {
+		n := 2 + int(nRaw)%19 // 2..20: PMFG planarity stays fuzz-speed
+		method := Method(int(methodRaw) % 4)
+		sim := fuzzSym(n, data)
+		res, err := ClusterMatrix(sim, nil, Options{
+			Method:  method,
+			Prefix:  1 + int(kRaw)%3,
+			Workers: 1,
+		})
+		if err != nil {
+			return
+		}
+		k := 1 + int(kRaw)%n
+		labels, err := res.Cut(k)
+		if err != nil {
+			t.Fatalf("accepted input but Cut(%d) failed: %v", k, err)
+		}
+		if len(labels) != n {
+			t.Fatalf("%d labels for %d objects", len(labels), n)
+		}
+		for i, l := range labels {
+			if l < 0 || l >= k {
+				t.Fatalf("label[%d] = %d out of [0,%d)", i, l, k)
+			}
+		}
+		if _, err := res.Newick(nil); err != nil {
+			t.Fatalf("accepted input but Newick failed: %v", err)
+		}
+	})
+}

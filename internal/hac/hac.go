@@ -263,6 +263,20 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 			row := d[int(x)*n : int(x)*n+n]
 			bestD, bi := kernel.MinIdx(row)
 			best := int32(bi)
+			if bi < 0 {
+				// Every live neighbor sits at +Inf — possible when the input
+				// dissimilarities (or overflowed Lance-Williams updates)
+				// saturate. All partners are then equally good; take the
+				// smallest live id other than x so the chain stays total and
+				// the merge order deterministic.
+				for y := int32(0); y < int32(n); y++ {
+					if y != x && !dead.Test(y) {
+						best = y
+						break
+					}
+				}
+				bestD = math.Inf(1)
+			}
 			if prev >= 0 && row[prev] <= bestD {
 				best, bestD = prev, row[prev]
 			}

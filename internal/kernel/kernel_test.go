@@ -361,30 +361,62 @@ func TestDissimRowVsNaive(t *testing.T) {
 	}
 }
 
-// --- FinishPearson ----------------------------------------------------------
+// --- FinishPearsonMoments ---------------------------------------------------
 
-func TestFinishPearson(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
-	for _, n := range []int{1, 2, 3, 5, finishB - 1, finishB, finishB + 1, 2*finishB + 2} {
-		raw := make([]float64, n*n)
-		zero := make([]int32, n)
-		for i := 0; i < n; i++ {
-			if rng.Intn(7) == 0 {
-				zero[i] = 1
+// momentsFixture builds random raw moments (upper-triangle cross products
+// plus rolling sums) for n series over l samples, with a sprinkling of
+// constant series to exercise the zero-variance pinning.
+func momentsFixture(rng *rand.Rand, n, l int) (g, s []float64) {
+	x := make([]float64, n*l)
+	for i := 0; i < n; i++ {
+		if rng.Intn(7) == 0 {
+			c := rng.NormFloat64()
+			for t := 0; t < l; t++ {
+				x[i*l+t] = c
 			}
-			for j := i; j < n; j++ {
-				raw[i*n+j] = 2.2*rng.Float64() - 1.1 // out-of-range values test the clamp
+			continue
+		}
+		for t := 0; t < l; t++ {
+			x[i*l+t] = rng.NormFloat64() + 3 // offset stresses the centering
+		}
+	}
+	g = make([]float64, n*n)
+	s = make([]float64, n)
+	for i := 0; i < n; i++ {
+		for t := 0; t < l; t++ {
+			s[i] += x[i*l+t]
+		}
+		for j := i; j < n; j++ {
+			for t := 0; t < l; t++ {
+				g[i*n+j] += x[i*l+t] * x[j*l+t]
 			}
 		}
+	}
+	return g, s
+}
+
+func TestFinishPearsonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const l = 24
+	for _, n := range []int{1, 2, 3, 5, finishB - 1, finishB, finishB + 1, 2*finishB + 2} {
+		raw, s := momentsFixture(rng, n, l)
+		mu := make([]float64, n)
+		inv := make([]float64, n)
+		zero := make([]int32, n)
+		if bad := PrepPearsonMoments(raw, n, s, l, mu, inv, zero); bad != -1 {
+			t.Fatalf("n=%d: finite moments flagged bad at %d", n, bad)
+		}
+
 		sim := append([]float64(nil), raw...)
 		dis := make([]float64, n*n)
-		FinishPearson(sim, dis, n, zero, 0, FinishTiles(n))
+		FinishPearsonMoments(sim, dis, n, s, mu, inv, zero, 0, FinishTiles(n))
 
-		// Reference: the unfused clamp → mirror → dissimilarity pipeline.
+		// Reference: the unfused moments → clamp → mirror → dissimilarity
+		// pipeline with the same canonical operation order.
 		want := append([]float64(nil), raw...)
 		for i := 0; i < n; i++ {
 			for j := i; j < n; j++ {
-				p := want[i*n+j]
+				p := (want[i*n+j] - s[i]*mu[j]) * inv[i] * inv[j]
 				switch {
 				case i == j:
 					p = 1
@@ -394,6 +426,8 @@ func TestFinishPearson(t *testing.T) {
 					p = 1
 				case p < -1:
 					p = -1
+				case p != p:
+					p = 0
 				}
 				want[i*n+j] = p
 				want[j*n+i] = p
@@ -416,7 +450,7 @@ func TestFinishPearson(t *testing.T) {
 
 		// nil dis: sim-only finish must produce the same sim.
 		simOnly := append([]float64(nil), raw...)
-		FinishPearson(simOnly, nil, n, zero, 0, FinishTiles(n))
+		FinishPearsonMoments(simOnly, nil, n, s, mu, inv, zero, 0, FinishTiles(n))
 		for i := range simOnly {
 			if simOnly[i] != sim[i] {
 				t.Fatalf("n=%d: sim-only finish diverges at %d", n, i)
@@ -427,12 +461,66 @@ func TestFinishPearson(t *testing.T) {
 		split := append([]float64(nil), raw...)
 		splitDis := make([]float64, n*n)
 		for b := 0; b < FinishTiles(n); b++ {
-			FinishPearson(split, splitDis, n, zero, b, b+1)
+			FinishPearsonMoments(split, splitDis, n, s, mu, inv, zero, b, b+1)
 		}
 		for i := range split {
 			if split[i] != sim[i] || splitDis[i] != dis[i] {
 				t.Fatalf("n=%d: tile partition changes output at %d", n, i)
 			}
 		}
+	}
+}
+
+// TestPrepPearsonMoments pins the per-series coefficient derivation: exact
+// means and inverse norms for clean integer data, zero-variance flagging for
+// constant series (whose centered moment cancels to ~0 rather than exactly
+// 0), and non-finite detection.
+func TestPrepPearsonMoments(t *testing.T) {
+	// Series: {1,2,3,4} (variance 5), {5,5,5,5} (constant), {0,0,0,0}.
+	const n, l = 3, 4
+	x := [n][l]float64{{1, 2, 3, 4}, {5, 5, 5, 5}, {0, 0, 0, 0}}
+	g := make([]float64, n*n)
+	s := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for tt := 0; tt < l; tt++ {
+			s[i] += x[i][tt]
+			g[i*n+i] += x[i][tt] * x[i][tt]
+		}
+	}
+	mu := make([]float64, n)
+	inv := make([]float64, n)
+	zero := make([]int32, n)
+	if bad := PrepPearsonMoments(g, n, s, l, mu, inv, zero); bad != -1 {
+		t.Fatalf("bad=%d for finite input", bad)
+	}
+	if mu[0] != 2.5 || mu[1] != 5 || mu[2] != 0 {
+		t.Fatalf("mu = %v", mu)
+	}
+	if zero[0] != 0 || zero[1] != 1 || zero[2] != 1 {
+		t.Fatalf("zero = %v", zero)
+	}
+	if want := 1 / math.Sqrt(5); inv[0] != want {
+		t.Fatalf("inv[0] = %v want %v", inv[0], want)
+	}
+	if inv[1] != 0 || inv[2] != 0 {
+		t.Fatalf("zero-variance inv not pinned: %v", inv)
+	}
+
+	// A constant series whose sums do not cancel exactly must still be
+	// flagged by the relative threshold.
+	gc := []float64{0.030000000000000006}
+	sc := []float64{0.30000000000000004} // Σ of three 0.1 samples
+	if PrepPearsonMoments(gc, 1, sc, 3, mu[:1], inv[:1], zero[:1]); zero[0] != 1 {
+		t.Fatalf("near-cancelled constant series not flagged (var=%v)", gc[0]-sc[0]*(sc[0]/3))
+	}
+
+	// Non-finite moments are reported and pinned.
+	gn := []float64{math.Inf(1), 0, 0, 4}
+	sn := []float64{1, 2}
+	if bad := PrepPearsonMoments(gn, 2, sn, 2, mu[:2], inv[:2], zero[:2]); bad != 0 {
+		t.Fatalf("bad = %d want 0", bad)
+	}
+	if zero[0] != 1 || inv[0] != 0 {
+		t.Fatal("non-finite series not pinned as zero-variance")
 	}
 }

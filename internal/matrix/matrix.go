@@ -111,9 +111,21 @@ func PearsonCtx(ctx context.Context, pool *exec.Pool, series [][]float64) (*Sym,
 // NaN. Non-finite samples (NaN or ±Inf) are rejected with an error rather
 // than silently poisoning downstream TMFG gain comparisons.
 //
-// The product Z·Zᵀ runs on the register-tiled kernel.SyrkUpperBand, whose
-// entries are bit-identical to a sequential scalar dot product, so the
-// result does not depend on the worker count.
+// Numerics. The pipeline works on raw moments — per-series rolling sums
+// Σx and the raw cross-product band Σxᵢxⱼ computed by the register-tiled
+// kernel.SyrkUpperBand — and centers in the finish pass, rather than
+// z-normalizing up front. Every moment is an ascending-t fold with one
+// rounding per step, so the result is independent of the worker count AND
+// reproducible one sample at a time: the streaming engine (internal/stream)
+// maintains the same moments by rank-1 updates and produces bit-identical
+// correlations. The trade-off is the classic one for one-pass moment
+// formulas: centering cancels |mean|/std of the significant digits, so a
+// series with |mean|/std ≳ 1e6 falls under the relative zero-variance
+// threshold (kernel.MomentVarEps) and is pinned as constant, and precision
+// degrades gradually above |mean|/std ~ 1e4. Callers with large-offset,
+// low-variance data (raw prices, absolute sensor readings) should subtract
+// a per-series baseline before calling — for correlation the result is
+// unchanged, and the cancellation disappears.
 func PearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][]float64) (*Sym, error) {
 	sim, _, err := pearsonWS(ctx, pool, w, series, false)
 	return sim, err
@@ -141,42 +153,32 @@ func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 			return nil, nil, fmt.Errorf("matrix: series %d has length %d, want %d", i, len(s), l)
 		}
 	}
-	// Normalize each series to zero mean and unit L2 norm; the correlation
-	// matrix is then Z·Zᵀ. All rows share one flat backing array. The
-	// per-row flags are int32 slots, not a bitset: parallel workers write
-	// them concurrently, and bitset words would make neighbouring rows'
-	// writes race.
-	zback := w.Float64(n * l)
-	defer w.PutFloat64(zback)
-	zero := w.Int32(n)
-	defer w.PutInt32(zero)
-	clear(zero)
+	// Gather the rows into one flat backing array for the SYRK and fold the
+	// per-series sums, validating finiteness on the way. The per-row flags
+	// are int32 slots, not a bitset: parallel workers write them
+	// concurrently, and bitset words would make neighbouring rows' writes
+	// race.
+	xback := w.Float64(n * l)
+	defer w.PutFloat64(xback)
+	sums := w.Float64(n)
+	defer w.PutFloat64(sums)
 	bad := w.Int32(n)
 	defer w.PutInt32(bad)
 	clear(bad)
 	err := pool.ForGrain(ctx, n, 8, func(i int) {
-		zi := zback[i*l : (i+1)*l]
-		mean := 0.0
-		for _, v := range series[i] {
-			mean += v
-		}
-		mean /= float64(l)
-		ss := 0.0
+		xi := xback[i*l : (i+1)*l]
+		sum := 0.0
+		ok := true
 		for t, v := range series[i] {
-			d := v - mean
-			zi[t] = d
-			ss += d * d
-		}
-		switch {
-		case math.IsNaN(ss) || math.IsInf(ss, 0):
-			bad[i] = 1
-		case ss == 0:
-			zero[i] = 1
-		default:
-			inv := 1 / math.Sqrt(ss)
-			for t := range zi {
-				zi[t] *= inv
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				ok = false
 			}
+			xi[t] = v
+			sum += v
+		}
+		sums[i] = sum
+		if !ok {
+			bad[i] = 1
 		}
 	})
 	if err != nil {
@@ -188,28 +190,20 @@ func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 		}
 	}
 	m := NewSymWS(w, n)
-	// Raw upper-triangle dot products via the blocked SYRK; bands of rows
+	// Raw upper-triangle cross products via the blocked SYRK; bands of rows
 	// run in parallel, each band bit-deterministic on its own.
 	err = pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
-		kernel.SyrkUpperBand(zback, n, l, m.Data, lo, hi)
+		kernel.SyrkUpperBand(xback, n, l, m.Data, lo, hi)
 	})
 	if err != nil {
 		m.Release(w)
 		return nil, nil, err
 	}
 	var d *Sym
-	var disData []float64
 	if wantDis {
 		d = NewSymWS(w, n)
-		disData = d.Data
 	}
-	// Finish: clamp, zero-variance pinning, unit diagonal, mirror — and the
-	// fused dissimilarity when requested (disData nil otherwise) — in a
-	// single blocked traversal.
-	err = pool.ForBlocked(ctx, kernel.FinishTiles(n), 1, func(lo, hi int) {
-		kernel.FinishPearson(m.Data, disData, n, zero, lo, hi)
-	})
-	if err != nil {
+	if err := FinishMomentsWS(ctx, pool, w, m, d, sums, l); err != nil {
 		m.Release(w)
 		if d != nil {
 			d.Release(w)
@@ -217,6 +211,38 @@ func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 		return nil, nil, err
 	}
 	return m, d, nil
+}
+
+// FinishMomentsWS converts raw moments into the final correlation matrix (and
+// optionally its metric dissimilarity): on entry sim's upper triangle holds
+// the cross products Σₜ xᵢ(t)·xⱼ(t) over t samples and sums[i] holds Σₜ xᵢ(t);
+// on return sim is the finished correlation matrix (clamped, zero-variance
+// pinned, unit diagonal, mirrored) and, when dis is non-nil, dis holds
+// √(2(1−p)). This is the single canonical moments→correlation arithmetic:
+// the batch Pearson path and the streaming engine both feed it, which is
+// what makes streaming snapshots bit-identical to batch recomputation
+// whenever their moments agree bit-for-bit.
+func FinishMomentsWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim, dis *Sym, sums []float64, t int) error {
+	n := sim.N
+	if t < 2 {
+		return fmt.Errorf("matrix: %d samples < 2", t)
+	}
+	mu := w.Float64(n)
+	defer w.PutFloat64(mu)
+	inv := w.Float64(n)
+	defer w.PutFloat64(inv)
+	zero := w.Int32(n)
+	defer w.PutInt32(zero)
+	if bad := kernel.PrepPearsonMoments(sim.Data, n, sums, t, mu, inv, zero); bad >= 0 {
+		return fmt.Errorf("matrix: series %d has non-finite moments (overflow)", bad)
+	}
+	var disData []float64
+	if dis != nil {
+		disData = dis.Data
+	}
+	return pool.ForBlocked(ctx, kernel.FinishTiles(n), 1, func(lo, hi int) {
+		kernel.FinishPearsonMoments(sim.Data, disData, n, sums, mu, inv, zero, lo, hi)
+	})
 }
 
 // Dissimilarity converts a correlation matrix into the metric dissimilarity

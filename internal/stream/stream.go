@@ -1,0 +1,299 @@
+// Package stream maintains rolling-window Pearson moments incrementally so a
+// clustering snapshot costs O(n²) arithmetic per tick instead of the full
+// O(n²·T) batch correlation recompute.
+//
+// The Engine keeps, for the last `window` samples of an n-series stream, the
+// raw moments the batch pipeline (matrix.PearsonWS) is built on: the rolling
+// sums Σₜ xᵢ(t), the sums of squares (the diagonal of the cross-product
+// band), and the full upper-triangle cross-product band Σₜ xᵢ(t)·xⱼ(t). Each
+// Push applies a rank-1 update with the arriving sample and, once the window
+// is full, a rank-1 downdate with the departing one (kernel.Rank1RollUpper) —
+// O(n²) work. Snapshots copy the band and hand it to the same
+// matrix.FinishMomentsWS arithmetic the batch path uses.
+//
+// Exactness. While the window is filling, every update appends one term to
+// the same ascending-t fold SyrkUpperBand computes, so the engine's moments
+// are bit-identical to a batch recomputation over the pushed samples — not
+// merely close. Once the window slides, downdates introduce float drift
+// (subtracting a term is not the exact inverse of having added it), so the
+// engine rebuilds the moments exactly — linearizing the ring in time order
+// and re-running kernel.SyrkUpperBand — every rebuildEvery slides, bounding
+// drift to what at most rebuildEvery roll steps can accumulate. Immediately
+// after any rebuild (periodic or forced), snapshots are again bit-identical
+// to batch. Exact reports which regime the engine is in.
+//
+// Concurrency. An Engine is NOT internally synchronized: callers serialize
+// Push/Rebuild (writers) against CopyState (reader) themselves. pfg.Streamer
+// wraps an Engine in the RWMutex discipline (Push exclusive, Snapshot
+// shared) and is the concurrency-safe entry point.
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"pfg/internal/exec"
+	"pfg/internal/kernel"
+	"pfg/internal/ws"
+)
+
+// maxSampleMagnitude bounds admitted sample values so the moment band can
+// never overflow: with |x| ≤ √(MaxFloat64/window), every cross product is
+// ≤ MaxFloat64/window and a window's worth of them sums below MaxFloat64.
+// Without the bound, one finite-but-huge sample would push g to +Inf, and
+// its eventual downdate would turn the band into NaNs (Inf−Inf) that no
+// roll can ever wash out — poisoning snapshots until the next exact rebuild
+// (or forever, with periodic rebuilds disabled). Rejecting at the door
+// keeps the band finite by construction. The bound is astronomically above
+// any real signal (~2.1e152 for a 4096-tick window).
+func maxSampleMagnitude(window int) float64 {
+	return math.Sqrt(math.MaxFloat64 / float64(window))
+}
+
+// DefaultRebuildEvery is the default number of window slides between exact
+// moment rebuilds. At the default, the amortized rebuild cost per tick is
+// n²·T/DefaultRebuildEvery — under 2% of a tick's O(n²) roll work for
+// windows up to ~5000 samples — while worst-case drift stays bounded by 256
+// rank-1 roll roundings (empirically ~1e-12 relative for unit-scale data).
+const DefaultRebuildEvery = 256
+
+// rollGrain is the ForBlocked row grain of the per-tick rank-1 kernels.
+const rollGrain = 16
+
+// Engine is the incremental moment state of one rolling window.
+type Engine struct {
+	n, window    int
+	rebuildEvery int // ≤ 0 disables periodic rebuilds
+
+	count   int  // samples currently in the window (≤ window)
+	head    int  // ring slot the next sample will occupy
+	slides  int  // slides since the last exact rebuild
+	dirty   bool // true once a slide has happened without a rebuild after it
+	corrupt bool // a cancelled kernel left g half-applied; ring is still good
+
+	ring []float64 // window×n, sample-major: ring[slot*n+i]
+	g    []float64 // n×n cross-product band, upper triangle maintained
+	s    []float64 // n rolling sums
+
+	maxMag float64 // sample magnitude bound keeping the band finite
+	w      *ws.Workspace
+}
+
+// New creates an engine for n series over the given window, drawing its
+// long-lived state from w (which the caller must keep alive alongside the
+// engine). rebuildEvery ≤ 0 disables periodic rebuilds (drift then grows
+// unboundedly until Rebuild is called explicitly).
+func New(n, window, rebuildEvery int, w *ws.Workspace) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("stream: need at least 1 series, have %d", n)
+	}
+	if window < 2 {
+		return nil, fmt.Errorf("stream: window %d < 2", window)
+	}
+	e := &Engine{
+		n:            n,
+		window:       window,
+		rebuildEvery: rebuildEvery,
+		ring:         w.Float64(window * n),
+		g:            w.Float64(n * n),
+		s:            w.Float64(n),
+		maxMag:       maxSampleMagnitude(window),
+		w:            w,
+	}
+	clear(e.g)
+	clear(e.s)
+	return e, nil
+}
+
+// N returns the number of series.
+func (e *Engine) N() int { return e.n }
+
+// Window returns the window capacity in samples.
+func (e *Engine) Window() int { return e.window }
+
+// Len returns the number of samples currently in the window.
+func (e *Engine) Len() int { return e.count }
+
+// Exact reports whether the moments are currently bit-identical to a batch
+// recomputation over the window (true while filling and right after a
+// rebuild; false once a slide has drifted them).
+func (e *Engine) Exact() bool { return !e.dirty && !e.corrupt }
+
+// SlidesSinceRebuild returns the number of roll steps since the last exact
+// state, the factor bounding accumulated drift.
+func (e *Engine) SlidesSinceRebuild() int { return e.slides }
+
+// Push admits one sample (one observation per series) into the window,
+// updating the moments in O(n²). The sample is validated before any state
+// changes — non-finite values and magnitudes large enough to overflow the
+// moment band (see maxSampleMagnitude) are rejected — and a non-nil error
+// means the sample was NOT admitted: the window content is exactly what it
+// was before the call. The pool drives the rank-1 band kernels; their
+// output is bit-independent of the worker count.
+func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
+	if len(x) != e.n {
+		return fmt.Errorf("stream: sample has %d values, want %d", len(x), e.n)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("stream: sample value %d is non-finite", i)
+		}
+		if v > e.maxMag || v < -e.maxMag {
+			return fmt.Errorf("stream: sample value %d (%g) exceeds the magnitude bound %g for window %d", i, v, e.maxMag, e.window)
+		}
+	}
+	if e.corrupt {
+		// A previous cancelled kernel left the band half-applied (the ring
+		// was untouched, so the buffered window is still authoritative).
+		// Resynchronize before admitting anything new; the sample that was
+		// being pushed when the cancellation hit was never admitted.
+		if err := e.Rebuild(ctx, pool); err != nil {
+			return err
+		}
+	}
+	slot := e.ring[e.head*e.n : e.head*e.n+e.n]
+	if e.count == e.window {
+		// Steady state: fused rank-1 update (arriving sample) + downdate
+		// (departing sample, currently in the head slot).
+		if err := pool.ForBlocked(ctx, e.n, rollGrain, func(lo, hi int) {
+			kernel.Rank1RollUpper(e.g, e.n, x, slot, lo, hi)
+		}); err != nil {
+			e.corrupt = true
+			return err
+		}
+		for i, v := range x {
+			e.s[i] += v - slot[i]
+		}
+		copy(slot, x)
+		e.head++
+		if e.head == e.window {
+			e.head = 0
+		}
+		e.dirty = true
+		e.slides++
+		if e.rebuildEvery > 0 && e.slides >= e.rebuildEvery {
+			// Deferred maintenance, not part of admitting the sample (which
+			// has already happened): if cancellation aborts it, the corrupt
+			// flag is set and the next Push retries the rebuild, so the
+			// error is not surfaced as a Push failure — a non-nil Push error
+			// always means "not admitted", and this sample was.
+			_ = e.Rebuild(ctx, pool)
+		}
+		return nil
+	}
+	// Filling: a pure rank-1 update appends one ascending-t term to every
+	// moment fold, keeping the state bit-identical to a batch recompute.
+	if err := pool.ForBlocked(ctx, e.n, rollGrain, func(lo, hi int) {
+		kernel.Rank1UpdateUpper(e.g, e.n, x, lo, hi)
+	}); err != nil {
+		e.corrupt = true
+		return err
+	}
+	for i, v := range x {
+		e.s[i] += v
+	}
+	copy(slot, x)
+	e.head++
+	if e.head == e.window {
+		e.head = 0
+	}
+	e.count++
+	return nil
+}
+
+// Rebuild recomputes the moments exactly from the buffered window: the ring
+// is linearized in time order and kernel.SyrkUpperBand re-folds the
+// cross-product band with the same ascending-t arithmetic the batch path
+// uses, discarding all accumulated roll drift. O(n²·T); snapshots taken
+// before the next slide are bit-identical to batch afterwards.
+func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
+	if e.count == 0 {
+		e.slides, e.dirty, e.corrupt = 0, false, false
+		return nil
+	}
+	n, t := e.n, e.count
+	z := e.Linearize()
+	defer e.w.PutFloat64(z)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, v := range z[i*t : (i+1)*t] {
+			sum += v
+		}
+		e.s[i] = sum
+	}
+	err := pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
+		kernel.SyrkUpperBand(z, n, t, e.g, lo, hi)
+	})
+	if err != nil {
+		// The band is part-old, part-rebuilt; the ring is untouched, so a
+		// later Rebuild (the next Push retries it) fully recovers.
+		e.corrupt = true
+		return err
+	}
+	e.slides, e.dirty, e.corrupt = 0, false, false
+	return nil
+}
+
+// CopyState copies the upper-triangle cross-product band into gDst (length ≥
+// n², lower triangle left untouched) and the rolling sums into sDst (length
+// ≥ n), returning the number of samples in the window. Feeding the copies to
+// matrix.FinishMomentsWS yields the window's correlation matrix. CopyState
+// is the only reader the snapshot path needs, so callers can hold a shared
+// (read) lock just for this call and run the finish and the clustering
+// outside it.
+//
+// A corrupt band (a cancelled kernel not yet resynchronized by a Push or
+// Rebuild) is refused rather than served: its entries mix pre- and
+// post-tick terms, which no downstream drift tolerance bounds.
+func (e *Engine) CopyState(gDst, sDst []float64) (int, error) {
+	if e.corrupt {
+		return 0, fmt.Errorf("stream: moment state is awaiting resynchronization; Push or Rebuild first")
+	}
+	n := e.n
+	for i := 0; i < n; i++ {
+		copy(gDst[i*n+i:(i+1)*n], e.g[i*n+i:(i+1)*n])
+	}
+	copy(sDst[:n], e.s)
+	return e.count, nil
+}
+
+// Linearize returns the window's samples in time order as one flat n×t
+// series-major buffer (z[i*t+k] = sample k of series i) drawn from the
+// engine's workspace; the caller releases it with PutFloat64. It is the
+// exact batch-equivalent input: running the batch pipeline over its rows is
+// the reference every exactness guarantee is stated against.
+func (e *Engine) Linearize() []float64 {
+	n, t := e.n, e.count
+	z := e.w.Float64(n * t)
+	// Oldest sample's slot: head-count wrapped (head==count while filling).
+	start := e.head - t
+	if start < 0 {
+		start += e.window
+	}
+	for k := 0; k < t; k++ {
+		slot := start + k
+		if slot >= e.window {
+			slot -= e.window
+		}
+		row := e.ring[slot*n : slot*n+n]
+		for i, v := range row {
+			z[i*t+k] = v
+		}
+	}
+	return z
+}
+
+// Workspace returns the workspace the engine draws scratch from.
+func (e *Engine) Workspace() *ws.Workspace { return e.w }
+
+// Release returns the engine's long-lived buffers to its workspace, for
+// callers that discard an engine while keeping the workspace (e.g. when the
+// first-ever sample is rejected and the series count should stay open). The
+// engine must not be used afterwards.
+func (e *Engine) Release() {
+	e.w.PutFloat64(e.ring)
+	e.w.PutFloat64(e.g)
+	e.w.PutFloat64(e.s)
+	e.ring, e.g, e.s = nil, nil, nil
+}

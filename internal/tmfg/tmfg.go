@@ -291,6 +291,14 @@ func (b *builder) recomputeGain(fi int32) {
 	d1 := data[int(f.v[1])*n : int(f.v[1])*n+n]
 	d2 := data[int(f.v[2])*n : int(f.v[2])*n+n]
 	f.gain, f.best = kernel.MaxGain3(d0, d1, d2, b.remaining)
+	if f.best < 0 && len(b.remaining) > 0 {
+		// Every candidate's three-row gain overflowed to -Inf (possible for
+		// similarity magnitudes near MaxFloat64/3), which the scan kernel
+		// cannot distinguish from an empty candidate list. All candidates
+		// are then equally (un)attractive; take the smallest remaining id so
+		// construction stays total and deterministic.
+		f.gain, f.best = math.Inf(-1), b.remaining[0]
+	}
 }
 
 // round executes one batch-insertion round (Lines 9–17 of Algorithm 1),
@@ -359,7 +367,21 @@ func (b *builder) selectBatch() ([]candidate, error) {
 		}
 		f := &b.faces[bi]
 		if !f.alive || f.best < 0 {
-			panic("tmfg: no candidate face")
+			// MaxIndex cannot tell an alive face whose gain sits at -Inf
+			// (overflowed similarities) from the dead-face sentinel, so its
+			// pick may be dead; fall back to the first live candidate.
+			bi = -1
+			for i := range b.faces {
+				g := &b.faces[i]
+				if g.alive && g.best >= 0 {
+					bi = i
+					break
+				}
+			}
+			if bi < 0 {
+				panic("tmfg: no candidate face")
+			}
+			f = &b.faces[bi]
 		}
 		// MaxIndex breaks gain ties toward the smaller face id; for parity
 		// with the sorted path, prefer the smaller vertex id first.

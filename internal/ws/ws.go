@@ -37,6 +37,15 @@ var global = sync.Pool{New: func() any { return new(Workspace) }}
 // Get returns a workspace from the process-wide pool. Pair with Put.
 func Get() *Workspace { return global.Get().(*Workspace) }
 
+// New returns a fresh workspace owned by the caller for its entire lifetime —
+// the long-lived alternative to the per-call Get/Put pairing. Stateful
+// servers (pfg.Streamer) pin one workspace per instance so their steady-state
+// ticks recycle the same buffers deterministically instead of competing for
+// (and churning) the process-wide sync.Pool, whose entries the GC may drop
+// between calls. A pinned workspace is never passed to Put; it is released by
+// letting it go out of scope.
+func New() *Workspace { return new(Workspace) }
+
 // Put returns a workspace (and every buffer released back into it) to the
 // process-wide pool for reuse by later calls.
 func Put(w *Workspace) {

@@ -3,6 +3,8 @@ package pfg
 import (
 	"context"
 	"fmt"
+	"math"
+	"sync"
 
 	"pfg/internal/core"
 	"pfg/internal/dendro"
@@ -10,6 +12,7 @@ import (
 	"pfg/internal/hac"
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
+	"pfg/internal/stream"
 	"pfg/internal/tmfg"
 	"pfg/internal/ws"
 )
@@ -148,12 +151,46 @@ func ClusterMatrix(sim, dis *Matrix, opts Options) (*Result, error) {
 // ClusterMatrixContext is ClusterMatrix with cooperative cancellation and a
 // per-call worker budget, like ClusterContext. The caller keeps ownership
 // of sim and dis; only the call's internal scratch is pooled.
+//
+// Because the matrices come from the caller rather than from Pearson (whose
+// outputs are finite by construction), they are validated up front: shape
+// mismatches and non-finite entries return an error instead of poisoning
+// gain comparisons (or panicking) deep inside a pipeline stage.
 func ClusterMatrixContext(ctx context.Context, sim, dis *Matrix, opts Options) (*Result, error) {
+	if err := validateMatrix("similarity", sim); err != nil {
+		return nil, err
+	}
+	if dis != nil {
+		if err := validateMatrix("dissimilarity", dis); err != nil {
+			return nil, err
+		}
+		if dis.N != sim.N {
+			return nil, fmt.Errorf("pfg: dissimilarity matrix is %d×%d, similarity is %d×%d", dis.N, dis.N, sim.N, sim.N)
+		}
+	}
 	pool, release := poolFor(opts)
 	defer release()
 	w := ws.Get()
 	defer ws.Put(w)
 	return clusterMatrixOn(ctx, pool, w, sim, dis, opts)
+}
+
+// validateMatrix rejects malformed caller-provided matrices: wrong backing
+// length (which would panic on indexing) and non-finite entries (which
+// silently corrupt ordering-based stages).
+func validateMatrix(name string, m *Matrix) error {
+	if m == nil {
+		return fmt.Errorf("pfg: nil %s matrix", name)
+	}
+	if m.N < 0 || len(m.Data) != m.N*m.N {
+		return fmt.Errorf("pfg: %s matrix has %d entries, want n²=%d", name, len(m.Data), m.N*m.N)
+	}
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("pfg: %s matrix entry (%d,%d) is non-finite", name, i/m.N, i%m.N)
+		}
+	}
+	return nil
 }
 
 // poolFor maps Options.Workers to an execution pool: the shared
@@ -246,6 +283,211 @@ func TMFG(sim *Matrix, prefix int) (edges [][2]int32, weight float64, err error)
 		return nil, 0, err
 	}
 	return r.Edges, r.EdgeWeightSum(sim), nil
+}
+
+// DefaultRebuildEvery is the default drift-rebuild period of a Streamer: the
+// number of window slides between exact moment recomputations.
+const DefaultRebuildEvery = stream.DefaultRebuildEvery
+
+// StreamOptions configures NewStreamer.
+type StreamOptions struct {
+	// Cluster configures the snapshots (method, prefix, worker budget), with
+	// the same semantics as the batch Options. With Workers > 0 the streamer
+	// owns one bounded pool for its whole lifetime (released by Close);
+	// Workers:1 makes every Snapshot deterministic and bit-comparable to a
+	// Workers:1 batch Cluster.
+	Cluster Options
+	// RebuildEvery is the drift-rebuild knob K: every K window slides the
+	// moments are recomputed exactly from the buffered window (O(n²·T),
+	// amortized n²·T/K per tick), bounding float drift and restoring
+	// bit-identity with batch recomputation. 0 selects DefaultRebuildEvery;
+	// a negative value disables periodic rebuilds (Rebuild can still be
+	// called explicitly).
+	RebuildEvery int
+}
+
+// Streamer is the stateful serving layer over the batch pipeline: it
+// maintains rolling-window Pearson moments incrementally (O(n²) per Push
+// instead of the O(n²·T) batch correlation recompute) and clusters the
+// current window on demand. The number of series is fixed by the first Push;
+// Snapshot becomes available once two samples are in.
+//
+// Exactness. While the window is filling, and immediately after any rebuild
+// (periodic every RebuildEvery slides, or forced via Rebuild), snapshots are
+// bit-identical to Cluster over the same window with the same Options —
+// every moment is maintained by the same ascending-time fold the batch SYRK
+// computes. Between rebuilds, roll downdates accumulate bounded float drift
+// (≤ RebuildEvery rank-1 roundings; ~1e-12 relative for unit-scale data).
+//
+// Concurrency. Push and Rebuild are writers and may be called from one
+// goroutine at a time; Snapshot is a reader and may be called concurrently
+// with other Snapshots and with Push — it holds the streamer's read lock
+// only while copying the O(n²) moment band, then finishes and clusters on
+// private buffers. All scratch comes from one pinned workspace owned by the
+// streamer (not the process-wide pool), so steady-state ticks allocate
+// almost nothing beyond the Result that escapes.
+type Streamer struct {
+	mu      sync.RWMutex
+	window  int
+	opts    StreamOptions
+	pool    *exec.Pool
+	ownPool bool
+	w       *ws.Workspace
+	eng     *stream.Engine // created by the first Push
+	closed  bool
+}
+
+// NewStreamer creates a streamer over a rolling window of the given length
+// (in samples). The number of series is inferred from the first Push.
+func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
+	if window < 2 {
+		return nil, fmt.Errorf("pfg: streaming window %d < 2", window)
+	}
+	if opts.Cluster.Prefix < 0 {
+		return nil, fmt.Errorf("pfg: Prefix must be ≥ 0 (0 selects the default), got %d", opts.Cluster.Prefix)
+	}
+	if opts.RebuildEvery == 0 {
+		opts.RebuildEvery = DefaultRebuildEvery
+	}
+	st := &Streamer{window: window, opts: opts, w: ws.New()}
+	if opts.Cluster.Workers > 0 {
+		st.pool = exec.New(opts.Cluster.Workers)
+		st.ownPool = true
+	} else {
+		st.pool = exec.Default()
+	}
+	return st, nil
+}
+
+// Push admits one sample — one observation per series, in series order —
+// into the rolling window in O(n²). The first Push fixes the number of
+// series. Samples must be finite and within the window's overflow-safe
+// magnitude bound (√(MaxFloat64/window), ~2.1e152 at window 4096); a
+// rejected Push leaves the window untouched.
+func (st *Streamer) Push(sample []float64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("pfg: streamer is closed")
+	}
+	if st.eng == nil {
+		// The series count is fixed by the first ADMITTED sample: if this
+		// push is rejected (non-finite values), discard the tentative
+		// engine so a later well-formed sample of any arity can still be
+		// first.
+		eng, err := stream.New(len(sample), st.window, st.opts.RebuildEvery, st.w)
+		if err != nil {
+			return err
+		}
+		if err := eng.Push(context.Background(), st.pool, sample); err != nil {
+			eng.Release()
+			return err
+		}
+		st.eng = eng
+		return nil
+	}
+	return st.eng.Push(context.Background(), st.pool, sample)
+}
+
+// Snapshot clusters the current window with the streamer's Options,
+// returning the same Result a batch Cluster call would. It requires at least
+// 2 samples (and the method's minimum series count). Snapshot may run
+// concurrently with Push: it copies the moment state under a read lock and
+// does all remaining work — the O(n²) correlation finish and the clustering
+// — on private workspace buffers.
+func (st *Streamer) Snapshot(ctx context.Context) (*Result, error) {
+	st.mu.RLock()
+	if st.closed {
+		st.mu.RUnlock()
+		return nil, fmt.Errorf("pfg: streamer is closed")
+	}
+	if st.eng == nil || st.eng.Len() < 2 {
+		n := 0
+		if st.eng != nil {
+			n = st.eng.Len()
+		}
+		st.mu.RUnlock()
+		return nil, fmt.Errorf("pfg: streaming window holds %d samples, need at least 2", n)
+	}
+	n := st.eng.N()
+	if err := validateOptions(n, st.opts.Cluster); err != nil {
+		st.mu.RUnlock()
+		return nil, err
+	}
+	sim := matrix.NewSymWS(st.w, n)
+	sums := st.w.Float64(n)
+	count, err := st.eng.CopyState(sim.Data, sums)
+	st.mu.RUnlock()
+	if err != nil {
+		sim.Release(st.w)
+		st.w.PutFloat64(sums)
+		return nil, err
+	}
+
+	dis := matrix.NewSymWS(st.w, n)
+	err = matrix.FinishMomentsWS(ctx, st.pool, st.w, sim, dis, sums, count)
+	st.w.PutFloat64(sums)
+	if err != nil {
+		sim.Release(st.w)
+		dis.Release(st.w)
+		return nil, err
+	}
+	r, err := clusterMatrixOn(ctx, st.pool, st.w, sim, dis, st.opts.Cluster)
+	sim.Release(st.w)
+	dis.Release(st.w)
+	return r, err
+}
+
+// Rebuild forces an exact recomputation of the window's moments (O(n²·T)),
+// discarding accumulated roll drift; until the next slide, Snapshot results
+// are bit-identical to batch Cluster over the same window.
+func (st *Streamer) Rebuild() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return fmt.Errorf("pfg: streamer is closed")
+	}
+	if st.eng == nil {
+		return nil
+	}
+	return st.eng.Rebuild(context.Background(), st.pool)
+}
+
+// Len returns the number of samples currently in the window.
+func (st *Streamer) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.eng == nil {
+		return 0
+	}
+	return st.eng.Len()
+}
+
+// Window returns the window capacity in samples.
+func (st *Streamer) Window() int { return st.window }
+
+// Exact reports whether the next Snapshot is guaranteed bit-identical to a
+// batch Cluster over the same window (true while the window is filling and
+// right after a rebuild).
+func (st *Streamer) Exact() bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.eng == nil || st.eng.Exact()
+}
+
+// Close releases the streamer's owned worker pool (if any) and marks it
+// unusable. Close is idempotent; concurrent Snapshots that already hold the
+// state complete normally.
+func (st *Streamer) Close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return
+	}
+	st.closed = true
+	if st.ownPool {
+		st.pool.Close()
+	}
 }
 
 // ARI computes the Adjusted Rand Index between two flat clusterings.
