@@ -1,0 +1,133 @@
+package pfg_test
+
+// Serving-layer benchmarks (BENCH_serve.json): the cost of one snapshot
+// read against pfg-serve's generation-keyed cache, cached (the window is
+// unchanged, the request is served from the cached clustering) vs uncached
+// (a push invalidated the cache, so the read pays one full clustering run).
+// Requests go through the real HTTP handler stack via httptest recorders —
+// routing, JSON, cache, admission — without socket overhead, so the numbers
+// are the server-side cost per request.
+//
+// The uncached loop is one serving tick: push one tick (invalidates), then
+// snapshot (recomputes). The cached loop repeats the read at a fixed
+// generation. The ratio is the leverage of the cache — and of coalescing,
+// which serves a whole stampede of same-generation readers at the cached
+// price plus one run.
+//
+// Run: go test -bench BenchmarkServeSnapshot -benchmem -run '^$' .
+//
+// This lives in package pfg_test (not pfg) because internal/serve imports
+// pfg; an in-package test file importing serve would be an import cycle.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"pfg/internal/serve"
+	"pfg/internal/tsgen"
+)
+
+// serveReq drives one request through the handler and returns the recorder.
+func serveReq(tb testing.TB, h http.Handler, method, target string, body []byte) *httptest.ResponseRecorder {
+	tb.Helper()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// benchTicks generates count ticks over n series plus their pre-marshaled
+// push bodies (so the uncached loop doesn't time client-side encoding).
+func benchTicks(tb testing.TB, n, count int) ([][]float64, [][]byte) {
+	tb.Helper()
+	ds := tsgen.GenerateClassed("bench-serve", n, count, 5, 0.6, 42)
+	ticks := make([][]float64, count)
+	bodies := make([][]byte, count)
+	for k := range ticks {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = ds.Series[i][k]
+		}
+		ticks[k] = x
+		b, err := json.Marshal(map[string]any{"sample": x})
+		if err != nil {
+			tb.Fatal(err)
+		}
+		bodies[k] = b
+	}
+	return ticks, bodies
+}
+
+// newServeSession stands up a server with one session holding a full window.
+func newServeSession(tb testing.TB, method string, window int, bodies [][]byte) http.Handler {
+	tb.Helper()
+	srv := serve.New(serve.Options{})
+	tb.Cleanup(srv.Close)
+	h := srv.Handler()
+	create, err := json.Marshal(map[string]any{"id": "bench", "window": window, "method": method})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rec := serveReq(tb, h, "POST", "/v1/sessions", create); rec.Code != http.StatusCreated {
+		tb.Fatalf("create: %d %s", rec.Code, rec.Body)
+	}
+	for _, body := range bodies[:window] {
+		if rec := serveReq(tb, h, "POST", "/v1/sessions/bench/push", body); rec.Code != http.StatusOK {
+			tb.Fatalf("push: %d %s", rec.Code, rec.Body)
+		}
+	}
+	return h
+}
+
+func BenchmarkServeSnapshot(b *testing.B) {
+	const (
+		n      = 512
+		window = 64
+		spare  = 192 // extra ticks the uncached loop cycles through
+	)
+	_, bodies := benchTicks(b, n, window+spare)
+	for _, method := range []string{"complete-linkage", "tmfg-dbht"} {
+		b.Run(fmt.Sprintf("%s/n=%d/uncached", method, n), func(b *testing.B) {
+			h := newServeSession(b, method, window, bodies)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One serving tick: the push bumps the generation, so the
+				// read that follows pays one full clustering run.
+				if rec := serveReq(b, h, "POST", "/v1/sessions/bench/push", bodies[window+i%spare]); rec.Code != http.StatusOK {
+					b.Fatalf("push: %d %s", rec.Code, rec.Body)
+				}
+				if rec := serveReq(b, h, "GET", "/v1/sessions/bench/snapshot?k=8", nil); rec.Code != http.StatusOK {
+					b.Fatalf("snapshot: %d %s", rec.Code, rec.Body)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s/n=%d/cached", method, n), func(b *testing.B) {
+			h := newServeSession(b, method, window, bodies)
+			// Warm the cache: the first read is the one clustering run.
+			if rec := serveReq(b, h, "GET", "/v1/sessions/bench/snapshot?k=8", nil); rec.Code != http.StatusOK {
+				b.Fatalf("warm snapshot: %d %s", rec.Code, rec.Body)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec := serveReq(b, h, "GET", "/v1/sessions/bench/snapshot?k=8", nil)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("snapshot: %d %s", rec.Code, rec.Body)
+				}
+				if hdr := rec.Header().Get("X-Pfg-Cache"); hdr != "hit" {
+					b.Fatalf("cache status %q, want hit", hdr)
+				}
+			}
+		})
+	}
+}

@@ -9,7 +9,10 @@
 // With -labeled, the final column of each row is a ground-truth class label
 // (ignored for clustering); adding -ari prints the Adjusted Rand Index
 // against it instead of the labels. -newick writes the full dendrogram in
-// Newick format to the given file.
+// Newick format to the given file. -json prints the result as one JSON
+// document — the same stable ResultJSON wire form pfg-serve responds with
+// (Newick tree, canonical filtered-graph edges, labels at the -k cut) —
+// instead of label lines.
 //
 // Follow mode flips the orientation for streaming: every CSV row is one tick
 // (one observation per series, n columns), rows arrive in time order, and
@@ -27,6 +30,7 @@ package main
 import (
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -45,6 +49,7 @@ func main() {
 	labeled := flag.Bool("labeled", false, "treat the last column of each row as a class label")
 	ari := flag.Bool("ari", false, "with -labeled: print the ARI against the labels instead of cluster ids")
 	newick := flag.String("newick", "", "write the dendrogram in Newick format to this file")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (the pfg-serve ResultJSON wire form) instead of label lines")
 	follow := flag.Bool("follow", false, "streaming mode: rows are ticks (one observation per series); re-cluster a rolling window")
 	window := flag.Int("window", 256, "with -follow: rolling window length in ticks")
 	every := flag.Int("every", 16, "with -follow: print a snapshot every this many ticks")
@@ -57,6 +62,9 @@ func main() {
 	}
 	if *ari && !*labeled {
 		fatal(fmt.Errorf("-ari requires -labeled"))
+	}
+	if *jsonOut && *ari {
+		fatal(fmt.Errorf("-json and -ari are mutually exclusive"))
 	}
 	var m pfg.Method
 	switch *method {
@@ -73,8 +81,8 @@ func main() {
 	}
 	opts := pfg.Options{Method: m, Prefix: *prefix}
 	if *follow {
-		if *labeled || *ari || *newick != "" {
-			fatal(fmt.Errorf("-follow does not support -labeled/-ari/-newick"))
+		if *labeled || *ari || *newick != "" || *jsonOut {
+			fatal(fmt.Errorf("-follow does not support -labeled/-ari/-newick/-json"))
 		}
 		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, opts); err != nil {
 			fatal(err)
@@ -108,6 +116,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("ARI %.4f\n", v)
+		return
+	}
+	if *jsonOut {
+		view, err := res.JSON([]int{*k}, nil)
+		if err != nil {
+			fatal(err)
+		}
+		b, err := json.Marshal(view)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(b))
 		return
 	}
 	for _, l := range labels {

@@ -7,6 +7,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -14,6 +15,7 @@ import (
 	"strings"
 	"testing"
 
+	"pfg"
 	"pfg/internal/dataio"
 	"pfg/internal/tsgen"
 )
@@ -95,6 +97,26 @@ func TestCLISmoke(t *testing.T) {
 		}
 	})
 
+	t.Run("batch-json", func(t *testing.T) {
+		out, err := exec.Command(bin, "-k", "3", "-labeled", "-json", seriesCSV).Output()
+		if err != nil {
+			t.Fatalf("json run failed: %v", err)
+		}
+		var view pfg.ResultJSON
+		if err := json.Unmarshal(out, &view); err != nil {
+			t.Fatalf("output is not one JSON document: %v\n%s", err, out)
+		}
+		if view.N != n || len(view.Cuts["3"]) != n {
+			t.Fatalf("bad JSON view: n=%d cuts=%v", view.N, view.Cuts)
+		}
+		if len(view.Edges) != 3*n-6 { // default method is tmfg-dbht
+			t.Fatalf("%d edges, want %d", len(view.Edges), 3*n-6)
+		}
+		if !strings.HasSuffix(view.Newick, ";") {
+			t.Fatalf("bad newick %q", view.Newick)
+		}
+	})
+
 	t.Run("follow", func(t *testing.T) {
 		window := length / 2
 		out, err := exec.Command(bin, "-follow", "-k", "3", "-method", "complete",
@@ -163,6 +185,8 @@ func TestCLISmoke(t *testing.T) {
 			{"-follow", "-k", "3", "-newick", dir + "/t.nwk", ticksCSV},
 			{"-follow", "-k", "3", "-every", "0", ticksCSV},
 			{"-follow", "-k", "3", "-window", "1", ticksCSV},
+			{"-follow", "-k", "3", "-json", ticksCSV},
+			{"-k", "3", "-labeled", "-ari", "-json", seriesCSV},
 		} {
 			if err := exec.Command(bin, args...).Run(); err == nil {
 				t.Fatalf("args %v: expected non-zero exit", args)

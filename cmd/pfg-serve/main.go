@@ -1,0 +1,94 @@
+// Command pfg-serve is the multi-session HTTP serving layer: it hosts many
+// named streaming sessions (rolling-window feeds clustered on demand) behind
+// a JSON API with a coalesced snapshot cache and admission control.
+//
+// Usage:
+//
+//	pfg-serve [-addr :8866] [-max-inflight N] [-max-body-bytes B] [-drain 10s]
+//
+// Endpoints (see internal/serve for the wire contract):
+//
+//	POST   /v1/sessions                 {"id":"feed","window":4096,"method":"tmfg-dbht"}
+//	POST   /v1/sessions/{id}/push       {"sample":[...]} or {"samples":[[...],...]}
+//	GET    /v1/sessions/{id}/snapshot   ?k=8 — cluster the current window
+//	GET    /v1/sessions /v1/sessions/{id}   list / inspect
+//	DELETE /v1/sessions/{id}            delete
+//	GET    /healthz /statsz             liveness, counters and latencies
+//
+// Concurrent snapshot readers of one window state share a single clustering
+// run (singleflight, generation-keyed cache); -max-inflight bounds the
+// clustering runs in flight across all sessions, beyond which readers get
+// 429 + Retry-After. On SIGINT/SIGTERM the server stops accepting
+// connections, drains in-flight requests for up to -drain, then cancels any
+// still-running computations and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pfg/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8866", "listen address (host:port; port 0 picks a free port)")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent snapshot clustering runs (0 = GOMAXPROCS)")
+	maxBody := flag.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = 8 MiB)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "usage: pfg-serve [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Options{MaxInflight: *maxInflight, MaxBodyBytes: *maxBody})
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Listen explicitly (rather than ListenAndServe) so the resolved
+	// address — in particular a :0-assigned port — can be announced; the
+	// smoke tests and scripts scrape it.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "pfg-serve: listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		// The listener failed outright (Serve never returns nil).
+		fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // restore default signal behavior: a second ^C kills the drain
+
+	// Shutdown drains in-flight requests — including snapshot waits — then
+	// Close cancels whatever still runs and closes every session.
+	fmt.Fprintln(os.Stderr, "pfg-serve: draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "pfg-serve: drain incomplete:", err)
+	}
+	srv.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pfg-serve:", err)
+	os.Exit(1)
+}

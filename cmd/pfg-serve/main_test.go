@@ -1,0 +1,196 @@
+package main
+
+// Smoke tests that build the real pfg-serve binary, start it on an ephemeral
+// port, drive the full session lifecycle over HTTP (create → push ticks →
+// snapshot → stats), and exercise the graceful-shutdown signal path — the
+// integration layer the internal/serve unit tests can't cover.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"pfg"
+	"pfg/internal/tsgen"
+)
+
+func buildBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pfg-serve")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServer launches the binary on an ephemeral port and returns its base
+// URL plus the running command (for the shutdown test).
+func startServer(t *testing.T, bin string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pfg-serve: listening on "); ok {
+			// Keep draining stderr so the process never blocks on a full pipe.
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + strings.TrimSpace(rest), cmd
+		}
+	}
+	t.Fatalf("server never announced its address (stderr closed: %v)", sc.Err())
+	return "", nil
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int, out any) {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d; body %s", url, resp.StatusCode, wantStatus, buf.Bytes())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: bad body %s: %v", url, buf.Bytes(), err)
+		}
+	}
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, buf.Bytes())
+	}
+	if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+		t.Fatalf("GET %s: bad body %s: %v", url, buf.Bytes(), err)
+	}
+}
+
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		// The CI race step runs ./... with -short; this end-to-end (which
+		// builds the binary and exercises the signal path) runs once in the
+		// dedicated smoke step instead of twice.
+		t.Skip("skipped under -short; run by the dedicated smoke step")
+	}
+	bin := buildBinary(t)
+	base, cmd := startServer(t, bin)
+
+	const n, window = 16, 24
+	ds := tsgen.GenerateClassed("smoke", n, window, 3, 0.4, 7)
+
+	// Create a session, push the whole window as one batch, snapshot it.
+	postJSON(t, base+"/v1/sessions", map[string]any{
+		"id": "smoke", "window": window, "method": "tmfg-dbht",
+	}, http.StatusCreated, nil)
+
+	samples := make([][]float64, window)
+	for k := range samples {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = ds.Series[i][k]
+		}
+		samples[k] = x
+	}
+	var push struct {
+		Admitted   int    `json:"admitted"`
+		Len        int    `json:"len"`
+		Generation uint64 `json:"generation"`
+	}
+	postJSON(t, base+"/v1/sessions/smoke/push", map[string]any{"samples": samples}, http.StatusOK, &push)
+	if push.Admitted != window || push.Len != window || push.Generation != window {
+		t.Fatalf("bad push response: %+v", push)
+	}
+
+	var snap struct {
+		Session    string          `json:"session"`
+		Method     string          `json:"method"`
+		Generation uint64          `json:"generation"`
+		Result     *pfg.ResultJSON `json:"result"`
+	}
+	getJSON(t, base+fmt.Sprintf("/v1/sessions/smoke/snapshot?k=3"), &snap)
+	if snap.Session != "smoke" || snap.Method != "tmfg-dbht" || snap.Generation != window {
+		t.Fatalf("bad snapshot envelope: %+v", snap)
+	}
+	if snap.Result == nil || snap.Result.N != n || len(snap.Result.Cuts["3"]) != n ||
+		len(snap.Result.Edges) != 3*n-6 || !strings.HasSuffix(snap.Result.Newick, ";") {
+		t.Fatalf("bad snapshot result: %+v", snap.Result)
+	}
+	for _, l := range snap.Result.Cuts["3"] {
+		if l < 0 || l >= 3 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+
+	// Liveness and counters.
+	var health struct {
+		Status   string `json:"status"`
+		Sessions int    `json:"sessions"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" || health.Sessions != 1 {
+		t.Fatalf("bad healthz: %+v", health)
+	}
+	var stats struct {
+		TicksPushed  uint64 `json:"ticks_pushed"`
+		SnapshotRuns uint64 `json:"snapshot_runs"`
+	}
+	getJSON(t, base+"/statsz", &stats)
+	if stats.TicksPushed != window || stats.SnapshotRuns != 1 {
+		t.Fatalf("bad statsz: %+v", stats)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+}

@@ -36,8 +36,15 @@
 // method. Snapshots are bit-identical to batch Cluster over the same
 // window while the window fills and right after every drift rebuild (the
 // StreamOptions.RebuildEvery knob); Push/Rebuild are single-writer,
-// Snapshot may run concurrently with both. The layer stack becomes
+// Snapshot may run concurrently with both, and a closed streamer returns
+// the ErrClosed sentinel from every method (never panics or blocks). The
+// window state carries a monotonic Generation stamp — bumped by every
+// admitted Push — and SnapshotGen returns the stamp its result was
+// clustered from, which is what serving-layer caches key on. The layer
+// stack becomes
 //
+//	http        cmd/pfg-serve + internal/serve (multi-session JSON API,
+//	            coalesced generation-keyed snapshot cache, admission control)
 //	serving     pfg.Streamer + internal/stream (stateful rolling windows)
 //	api         pfg.Cluster / ClusterContext (stateless batch calls)
 //	algorithms  internal/{matrix, tmfg, pmfg, dbht, hac, graph, ...}
@@ -45,8 +52,16 @@
 //	memory      internal/ws + internal/bitset (flat pooled scratch)
 //	execution   internal/exec (bounded context-aware worker pools)
 //
-// See README.md ("Streaming") for the exactness guarantee and the
-// concurrency contract, and BENCH_stream.json for measured tick costs.
+// See README.md ("Streaming" and "Serving over HTTP") for the exactness
+// guarantee and the concurrency contract, BENCH_stream.json for measured
+// tick costs, and BENCH_serve.json for cached vs uncached serving costs.
+//
+// # Wire form
+//
+// Result.JSON builds ResultJSON, the stable JSON encoding of a clustering
+// (Newick tree, canonical filtered-graph edges, flat labels at requested
+// cuts) shared by the pfg-serve snapshot responses and pfg-cluster's
+// -json output.
 //
 // # Memory behavior
 //

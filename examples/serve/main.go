@@ -1,0 +1,149 @@
+// Serving demo: stands up the pfg-serve HTTP layer in-process on an
+// ephemeral port, then plays a client against it — create a session, stream
+// correlated ticks, read coalesced snapshots, and dump the server counters.
+// The same requests work against a real `pfg-serve` process; swap base for
+// its address.
+//
+//	go run ./examples/serve
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"sync"
+
+	"pfg"
+	"pfg/internal/serve"
+)
+
+const (
+	n      = 12  // series per tick
+	window = 128 // rolling window length
+)
+
+func main() {
+	// In-process server; a production deployment runs `pfg-serve -addr ...`.
+	srv := serve.New(serve.Options{})
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// Create a session: a rolling 128-tick window clustered with TMFG+DBHT.
+	post(base+"/v1/sessions", map[string]any{
+		"id": "demo", "window": window, "method": "tmfg-dbht",
+	})
+
+	// Stream ticks: three groups of correlated random walks. Batches and
+	// single samples both work.
+	rng := rand.New(rand.NewSource(7))
+	level := make([]float64, n)
+	tick := func() []float64 {
+		shared := [3]float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		x := make([]float64, n)
+		for i := range x {
+			level[i] += 0.8*shared[i%3] + 0.2*rng.NormFloat64()
+			x[i] = level[i]
+		}
+		return x
+	}
+	batch := make([][]float64, window)
+	for k := range batch {
+		batch[k] = tick()
+	}
+	post(base+"/v1/sessions/demo/push", map[string]any{"samples": batch})
+
+	// Concurrent snapshot readers of one window state coalesce onto a
+	// single clustering run — count how the cache classified them.
+	var wg sync.WaitGroup
+	status := make([]string, 8)
+	for i := range status {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Get(base + "/v1/sessions/demo/snapshot?k=3")
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer resp.Body.Close()
+			status[i] = resp.Header.Get("X-Pfg-Cache")
+			if i == 0 {
+				var snap struct {
+					Generation uint64          `json:"generation"`
+					Result     *pfg.ResultJSON `json:"result"`
+				}
+				if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("generation %d: %d series, %d graph edges, labels at k=3: %v\n",
+					snap.Generation, snap.Result.N, len(snap.Result.Edges), snap.Result.Cuts["3"])
+			}
+		}(i)
+	}
+	wg.Wait()
+	counts := map[string]int{}
+	for _, s := range status {
+		counts[s]++
+	}
+	fmt.Println("8 concurrent readers, one clustering run:", counts)
+
+	// New ticks invalidate by bumping the generation; the next read
+	// recomputes once and the cache is warm again.
+	post(base+"/v1/sessions/demo/push", map[string]any{"sample": tick()})
+	resp, err := http.Get(base + "/v1/sessions/demo/snapshot?k=3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Println("after one more tick:", resp.Header.Get("X-Pfg-Cache"))
+
+	var stats struct {
+		TicksPushed       uint64  `json:"ticks_pushed"`
+		SnapshotRequests  uint64  `json:"snapshot_requests"`
+		SnapshotRuns      uint64  `json:"snapshot_runs"`
+		SnapshotHits      uint64  `json:"snapshot_hits"`
+		SnapshotCoalesced uint64  `json:"snapshot_coalesced"`
+		SnapshotRunMeanMs float64 `json:"snapshot_run_mean_ms"`
+	}
+	get(base+"/statsz", &stats)
+	fmt.Printf("statsz: %d ticks, %d snapshot requests → %d clustering runs (%d hits, %d coalesced), %.2fms mean run\n",
+		stats.TicksPushed, stats.SnapshotRequests, stats.SnapshotRuns,
+		stats.SnapshotHits, stats.SnapshotCoalesced, stats.SnapshotRunMeanMs)
+}
+
+func post(url string, body any) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, buf.Bytes())
+	}
+}
+
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}

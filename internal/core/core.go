@@ -40,6 +40,9 @@ type Result struct {
 	Dendrogram *dendro.Dendrogram
 	// Graph is the filtered graph used (nil for non-graph methods).
 	GraphEdges int
+	// Edges lists the filtered graph's undirected edges in insertion order
+	// (nil for non-graph methods). The slice is owned by the Result.
+	Edges [][2]int32
 	// EdgeWeightSum is the similarity captured by the filtered graph.
 	EdgeWeightSum float64
 	// Groups is the number of DBHT groups (converging bubbles used).
@@ -101,6 +104,7 @@ func TMFGDBHTWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim *matr
 	out := &Result{
 		Dendrogram:    res.Dendrogram,
 		GraphEdges:    tm.Graph.NumEdges(),
+		Edges:         tm.Edges,
 		EdgeWeightSum: tm.EdgeWeightSum(sim),
 		Groups:        len(res.Groups),
 		DBHT:          res,
@@ -157,6 +161,7 @@ func PMFGDBHTCtx(ctx context.Context, pool *exec.Pool, sim *matrix.Sym, dis *mat
 	return &Result{
 		Dendrogram:    res.Dendrogram,
 		GraphEdges:    pm.Graph.NumEdges(),
+		Edges:         pm.Edges,
 		EdgeWeightSum: pm.EdgeWeightSum(sim),
 		Groups:        len(res.Groups),
 		Timings:       bd,

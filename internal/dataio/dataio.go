@@ -7,37 +7,80 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strconv"
+	"strings"
 )
 
 // ReadSeries parses rows of floats. If labeled is true, the final column of
 // every row is returned separately as an integer label.
+//
+// The parser is tolerant of the mechanical noise real exports carry — CRLF
+// line endings (including a lone trailing \r on the last line), surrounding
+// whitespace in cells, and blank lines anywhere in the file — but strict
+// about the values themselves: every entry must parse as a finite float, and
+// NaN/Inf tokens in any spelling strconv accepts ("NaN", "inf",
+// "-Infinity", ...) are rejected with the offending row and column rather
+// than admitted to poison a correlation downstream. Row numbers in errors
+// are physical file lines (blank lines count), so the diagnostic points at
+// the line an editor shows.
 func ReadSeries(r io.Reader, labeled bool) (series [][]float64, labels []int, err error) {
-	rows, err := csv.NewReader(r).ReadAll()
-	if err != nil {
-		return nil, nil, err
-	}
-	for i, row := range rows {
+	cr := csv.NewReader(r)
+	// Blank lines are not records, and rows that contain only empty cells
+	// (a trailing "\r\n" tail, a line of stray commas) are skipped below, so
+	// field-count consistency is enforced here only across real data rows.
+	cr.FieldsPerRecord = -1
+	width := -1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		blank := true
+		for j, cell := range row {
+			row[j] = strings.TrimSpace(cell)
+			if row[j] != "" {
+				blank = false
+			}
+		}
+		if blank && len(row) == 1 {
+			// A single empty field is a line artifact — whitespace, a lone
+			// \r tail — not data; truly empty lines never even reach here
+			// (encoding/csv skips them). A multi-field row of empty cells
+			// (",,") is NOT skipped: it falls through to the width check
+			// and ParseFloat("") error, because silently dropping it would
+			// lose a series and shift label alignment.
+			continue
+		}
+		line, _ := cr.FieldPos(0)
+		if width == -1 {
+			width = len(row)
+		} else if len(row) != width {
+			return nil, nil, fmt.Errorf("row %d: %d columns, want %d", line, len(row), width)
+		}
 		if labeled {
 			if len(row) < 2 {
-				return nil, nil, fmt.Errorf("row %d: need at least 2 columns for labeled data", i+1)
+				return nil, nil, fmt.Errorf("row %d: need at least 2 columns for labeled data", line)
 			}
 			l, err := strconv.Atoi(row[len(row)-1])
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d: bad label %q: %w", i+1, row[len(row)-1], err)
+				return nil, nil, fmt.Errorf("row %d: bad label %q: %w", line, row[len(row)-1], err)
 			}
 			labels = append(labels, l)
 			row = row[:len(row)-1]
-		}
-		if len(row) == 0 {
-			return nil, nil, fmt.Errorf("row %d: empty", i+1)
 		}
 		s := make([]float64, len(row))
 		for j, cell := range row {
 			v, err := strconv.ParseFloat(cell, 64)
 			if err != nil {
-				return nil, nil, fmt.Errorf("row %d col %d: %w", i+1, j+1, err)
+				return nil, nil, fmt.Errorf("row %d col %d: %w", line, j+1, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, nil, fmt.Errorf("row %d col %d: non-finite value %q", line, j+1, cell)
 			}
 			s[j] = v
 		}

@@ -3,6 +3,7 @@ package dataio
 import (
 	"bytes"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -58,6 +59,127 @@ func TestReadErrors(t *testing.T) {
 	}
 	if _, _, err := ReadSeries(strings.NewReader("7\n"), true); err == nil {
 		t.Fatal("labeled row with one column accepted")
+	}
+}
+
+// TestReadSeriesHardening pins the parser's behavior on the mechanical noise
+// real CSV exports carry (CRLF endings, blank lines, padded cells) and on the
+// value-level poison it must refuse (NaN/Inf in every spelling ParseFloat
+// accepts), with row/column-numbered errors.
+func TestReadSeriesHardening(t *testing.T) {
+	tests := []struct {
+		name    string
+		input   string
+		labeled bool
+		want    [][]float64
+		labels  []int
+		wantErr string // substring of the error; "" means success
+	}{
+		{
+			name:  "crlf line endings",
+			input: "1,2,3\r\n4,5,6\r\n",
+			want:  [][]float64{{1, 2, 3}, {4, 5, 6}},
+		},
+		{
+			name:  "lone trailing CR at EOF",
+			input: "1,2\n3,4\r",
+			want:  [][]float64{{1, 2}, {3, 4}},
+		},
+		{
+			name:  "trailing blank lines",
+			input: "1,2\n3,4\n\n\n",
+			want:  [][]float64{{1, 2}, {3, 4}},
+		},
+		{
+			name:  "interior blank line and padded cells",
+			input: "1, 2\n\n 3 ,4\n",
+			want:  [][]float64{{1, 2}, {3, 4}},
+		},
+		{
+			name:    "crlf labeled",
+			input:   "1,2,0\r\n3,4,1\r\n",
+			labeled: true,
+			want:    [][]float64{{1, 2}, {3, 4}},
+			labels:  []int{0, 1},
+		},
+		{
+			name:    "label with padding",
+			input:   "1,2, 7\n",
+			labeled: true,
+			want:    [][]float64{{1, 2}},
+			labels:  []int{7},
+		},
+		{
+			name:    "NaN rejected with position",
+			input:   "1,2\n3,NaN\n",
+			wantErr: "row 2 col 2: non-finite",
+		},
+		{
+			name:    "error rows numbered by physical file line",
+			input:   "1,2\n\n3,NaN\n",
+			wantErr: "row 3 col 2: non-finite",
+		},
+		{
+			name:    "Inf rejected",
+			input:   "Inf,2\n",
+			wantErr: "row 1 col 1: non-finite",
+		},
+		{
+			name:    "negative infinity spelled out",
+			input:   "1,-Infinity\n",
+			wantErr: "row 1 col 2: non-finite",
+		},
+		{
+			name:    "lowercase inf with CRLF",
+			input:   "1,inf\r\n",
+			wantErr: "row 1 col 2: non-finite",
+		},
+		{
+			name:    "NaN in label column of labeled data",
+			input:   "1,NaN,0\n",
+			labeled: true,
+			wantErr: "row 1 col 2: non-finite",
+		},
+		{
+			name:    "ragged rows rejected",
+			input:   "1,2,3\n4,5\n",
+			wantErr: "row 2: 2 columns, want 3",
+		},
+		{
+			name:  "whitespace-only line skipped",
+			input: "1,2\n \n3,4\n",
+			want:  [][]float64{{1, 2}, {3, 4}},
+		},
+		{
+			name:    "comma-only row is an error, not a silent skip",
+			input:   "1,2\n,\n3,4\n",
+			wantErr: "row 2 col 1",
+		},
+		{
+			name:    "only blank lines",
+			input:   "\n\n",
+			wantErr: "no rows",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			series, labels, err := ReadSeries(strings.NewReader(tc.input), tc.labeled)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(series, tc.want) {
+				t.Fatalf("series %v, want %v", series, tc.want)
+			}
+			if !reflect.DeepEqual(labels, tc.labels) {
+				t.Fatalf("labels %v, want %v", labels, tc.labels)
+			}
+		})
 	}
 }
 

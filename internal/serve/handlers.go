@@ -1,0 +1,359 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strconv"
+	"strings"
+	"time"
+
+	"pfg"
+)
+
+// writeJSON marshals v and writes it with the given status. Bodies are
+// fully marshaled before the header goes out so an encoding failure can
+// still produce a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeStatus maps a body-decode failure to its status: an over-cap body
+// is a size problem (413, the client should split and retry), everything
+// else is malformed input (400).
+func decodeStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// decodeBody strictly decodes one JSON value, bounded by MaxBodyBytes.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the value is a malformed request, not data to
+	// silently ignore.
+	if dec.More() {
+		return fmt.Errorf("unexpected data after the JSON body")
+	}
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:   "ok",
+		UptimeS:  time.Since(s.start).Seconds(),
+		Sessions: s.reg.Len(),
+	})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	v := s.stats.view()
+	sessions := s.reg.List()
+	v.Sessions = len(sessions)
+	v.SessionInfos = make([]SessionInfo, len(sessions))
+	for i, sess := range sessions {
+		v.SessionInfos[i] = sess.Info()
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), "bad request body: %v", err)
+		return
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sess, err := s.reg.Create(req.ID, SessionConfig{
+		Window:       req.Window,
+		Method:       method,
+		Prefix:       req.Prefix,
+		Workers:      req.Workers,
+		RebuildEvery: req.RebuildEvery,
+	})
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errExists) {
+			status = http.StatusConflict
+		} else if errors.Is(err, errTooManySessions) || errors.Is(err, errWorkerBudget) {
+			status = http.StatusTooManyRequests
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	s.stats.SessionsCreated.Add(1)
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	sessions := s.reg.List()
+	out := SessionList{Sessions: make([]SessionInfo, len(sessions))}
+	for i, sess := range sessions {
+		out.Sessions[i] = sess.Info()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Delete(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	s.stats.SessionsDeleted.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	var req PushRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, decodeStatus(err), "bad request body: %v", err)
+		return
+	}
+	batch := req.Samples
+	if req.Sample != nil {
+		if req.Samples != nil {
+			writeError(w, http.StatusBadRequest, "set exactly one of sample and samples")
+			return
+		}
+		batch = [][]float64{req.Sample}
+	}
+	if len(batch) == 0 {
+		writeError(w, http.StatusBadRequest, "empty push: set sample or samples")
+		return
+	}
+
+	// One writer at a time per session (the Streamer contract); the whole
+	// batch is applied under the lock so interleaved pushers cannot shuffle
+	// a batch's tick order. The first admitted push fixes the series count
+	// and allocates the window ring, so the ring-size cap is checked here —
+	// under the lock, where Series()==0 cannot race another first push.
+	sess.pushMu.Lock()
+	firstPush := sess.st.Series() == 0
+	if firstPush {
+		need := len(batch[0]) * sess.cfg.Window
+		if need > maxRingFloats {
+			sess.pushMu.Unlock()
+			writeError(w, http.StatusBadRequest,
+				"window (%d) × series (%d) exceeds the per-session buffer cap of %d values",
+				sess.cfg.Window, len(batch[0]), maxRingFloats)
+			return
+		}
+		if !s.reg.reserveRing(sess, need) {
+			sess.pushMu.Unlock()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				"aggregate window-buffer budget exhausted; delete sessions or retry later")
+			return
+		}
+	}
+	admitted, pushErr := 0, error(nil)
+	start := time.Now()
+	for _, x := range batch {
+		if pushErr = sess.st.Push(x); pushErr != nil {
+			break
+		}
+		admitted++
+	}
+	s.stats.PushNanos.Add(int64(time.Since(start)))
+	if firstPush && sess.st.Series() == 0 {
+		// Nothing was admitted, so no ring was allocated: hand the
+		// reservation back.
+		s.reg.releaseRing(sess)
+	}
+	// Capture the response state before releasing the writer lock, so the
+	// reported Len/Generation are this push's landing state, not a
+	// concurrent pusher's.
+	curLen, curGen := sess.st.Len(), sess.st.Generation()
+	sess.pushMu.Unlock()
+
+	s.stats.TicksPushed.Add(uint64(admitted))
+	if pushErr != nil {
+		// Only the tick that was actually examined and refused counts as
+		// rejected; the aborted remainder of the batch was never validated.
+		s.stats.PushRejected.Add(1)
+		if errors.Is(pushErr, pfg.ErrClosed) {
+			writeError(w, http.StatusGone, "session deleted")
+			return
+		}
+		// Ticks are applied in order and the first rejected tick aborts the
+		// rest, so `admitted` is also the failing tick's index.
+		writeError(w, http.StatusBadRequest, "tick %d: %v (%d ticks admitted)", admitted, pushErr, admitted)
+		return
+	}
+	writeJSON(w, http.StatusOK, PushResponse{
+		Admitted:   admitted,
+		Len:        curLen,
+		Generation: curGen,
+	})
+}
+
+// parseCuts parses the snapshot query's k parameters: repeated (?k=2&k=8)
+// and comma-separated (?k=2,8) forms compose.
+func parseCuts(vals []string) ([]int, error) {
+	var ks []int
+	for _, v := range vals {
+		for _, part := range strings.Split(v, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			k, err := strconv.Atoi(part)
+			if err != nil || k < 1 {
+				return nil, fmt.Errorf("bad cut %q: want a positive integer", part)
+			}
+			ks = append(ks, k)
+		}
+	}
+	return ks, nil
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	ks, err := parseCuts(r.URL.Query()["k"])
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Normalize once: the wire form (a map keyed by k) is order- and
+	// duplicate-insensitive, so the sorted deduplicated list both keys the
+	// body cache and bounds the Cut work by distinct cuts.
+	ks = normalizeCuts(ks)
+	// Readiness pre-checks give data-shaped conditions a 409 (come back
+	// after more ticks) instead of burning an admission slot.
+	n, l := sess.st.Series(), sess.st.Len()
+	if l < 2 || n < sess.cfg.Method.MinSeries() {
+		writeError(w, http.StatusConflict,
+			"%v: %d ticks over %d series buffered; %s needs ≥ 2 ticks and ≥ %d series",
+			errNotReady, l, n, sess.cfg.Method, sess.cfg.Method.MinSeries())
+		return
+	}
+	// Over-range cuts are a free 400 here; after the clustering run they
+	// would cost a full compute (and an admission slot) just to fail.
+	for _, k := range ks {
+		if k > n {
+			writeError(w, http.StatusBadRequest, "cannot cut %d series into %d clusters", n, k)
+			return
+		}
+	}
+
+	s.stats.SnapshotRequests.Add(1)
+	res, gen, status, err := s.snapshotResult(r.Context(), sess)
+	switch {
+	case err == nil:
+	case errors.Is(err, errSaturated):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v; retry shortly", err)
+		return
+	case errors.Is(err, pfg.ErrClosed):
+		writeError(w, http.StatusGone, "session deleted")
+		return
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// The requester is gone (or the server is draining); the write is
+		// best-effort, and a client disconnect is not a server error, so
+		// SnapshotErrors stays untouched.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	default:
+		s.stats.SnapshotErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+
+	// The wire view is deterministic given (result, cuts), so reads of one
+	// generation share pre-marshaled bytes — built once even when a whole
+	// coalesced stampede wakes at the same instant.
+	body, err := sess.cache.body(gen, cutsKey(ks), func() ([]byte, error) {
+		view, err := res.JSON(ks, nil)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(SnapshotResponse{
+			Session:    sess.ID,
+			Method:     sess.cfg.Method.String(),
+			Window:     sess.cfg.Window,
+			Generation: gen,
+			Result:     view,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return append(b, '\n'), nil
+	})
+	if err != nil {
+		// Result-shaped client errors the pre-check didn't anticipate.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeRawJSON(w, string(status), body)
+}
+
+// writeRawJSON writes a pre-marshaled 200 response with the cache status
+// header (a header, not a body field, so all readers of one generation get
+// byte-identical bodies).
+func writeRawJSON(w http.ResponseWriter, cacheStatus string, body []byte) {
+	w.Header().Set("X-Pfg-Cache", cacheStatus)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// normalizeCuts sorts and deduplicates a cut list; ?k=2,8 and ?k=8&k=2,2
+// are the same request.
+func normalizeCuts(ks []int) []int {
+	slices.Sort(ks)
+	return slices.Compact(ks)
+}
+
+// cutsKey renders a normalized cut list as the body-cache key.
+func cutsKey(ks []int) string {
+	var b strings.Builder
+	for i, k := range ks {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(k))
+	}
+	return b.String()
+}

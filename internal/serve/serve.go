@@ -1,0 +1,116 @@
+// Package serve is the multi-session HTTP serving layer over pfg's
+// streaming engine: the machinery behind the pfg-serve binary.
+//
+// A server hosts many named sessions, each wrapping a pfg.Streamer with its
+// own window/method/rebuild configuration. Ticks arrive via
+// POST /v1/sessions/{id}/push (single or batched); clusterings are read via
+// GET /v1/sessions/{id}/snapshot. The expensive artifact per session is the
+// clustering Snapshot of a slowly-evolving window — many readers, one
+// writer, generation-stamped state — so snapshot reads go through a
+// generation-keyed cache with singleflight coalescing (see cache.go):
+// concurrent readers of one window state share a single clustering run, and
+// pushes invalidate by bumping the generation. Admission control bounds the
+// number of clustering runs in flight across all sessions; beyond the bound,
+// readers that cannot coalesce get 429 + Retry-After instead of queueing
+// without bound.
+//
+// Endpoints:
+//
+//	POST   /v1/sessions                 create a session
+//	GET    /v1/sessions                 list sessions
+//	GET    /v1/sessions/{id}            one session's state
+//	DELETE /v1/sessions/{id}            delete (closes the streamer)
+//	POST   /v1/sessions/{id}/push       ingest ticks  {"sample":[...]} or {"samples":[[...],...]}
+//	GET    /v1/sessions/{id}/snapshot   cluster the window  ?k=8 or ?k=2,8 for flat cuts
+//	GET    /healthz                     liveness
+//	GET    /statsz                      counters, latencies, per-session state
+//
+// Shutdown order for embedders: stop the listener with http.Server.Shutdown
+// (drains in-flight requests, including coalesced snapshot waits), then call
+// Server.Close to cancel any still-running clustering computations and close
+// every session. pfg-serve wires exactly that sequence to SIGINT/SIGTERM.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"time"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxInflight bounds the number of snapshot clustering runs in flight
+	// across all sessions (0 = GOMAXPROCS). Requests that cannot be served
+	// from cache or coalesced onto a running computation are rejected with
+	// 429 once the bound is reached — clustering is CPU-bound, so queueing
+	// past the core count only grows tail latency.
+	MaxInflight int
+	// MaxBodyBytes caps a request body (0 = 8 MiB). A tick batch for n
+	// series costs ~20 bytes per value on the wire, so the default admits
+	// batches of hundreds of ticks at n=512.
+	MaxBodyBytes int64
+}
+
+// Server is the serving state: the session registry, the admission
+// semaphore, and the stats counters. Create with New, expose via Handler,
+// and Close after the HTTP listener has drained.
+type Server struct {
+	opts    Options
+	reg     *Registry
+	stats   Stats
+	sem     chan struct{} // admission: one slot per in-flight clustering run
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	start   time.Time
+}
+
+// New creates a Server.
+func New(opts Options) *Server {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 8 << 20
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		opts:    opts,
+		reg:     newRegistry(),
+		sem:     make(chan struct{}, opts.MaxInflight),
+		baseCtx: ctx,
+		cancel:  cancel,
+		start:   time.Now(),
+	}
+}
+
+// Handler returns the server's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
+	mux.HandleFunc("POST /v1/sessions/{id}/push", s.handlePush)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	return mux
+}
+
+// Stats exposes the counter set (read with atomic Loads; also served as
+// JSON by /statsz).
+func (s *Server) Stats() *Stats { return &s.stats }
+
+// Registry exposes the session table, for embedders that pre-create
+// sessions programmatically.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Close cancels in-flight clustering computations and closes every session.
+// Call it after the HTTP listener has drained (http.Server.Shutdown);
+// requests arriving afterwards are refused cleanly (sessions report
+// pfg.ErrClosed → 410, creates fail).
+func (s *Server) Close() {
+	s.cancel()
+	s.reg.closeAll()
+}

@@ -1,0 +1,70 @@
+package serve
+
+import "sync/atomic"
+
+// Stats is the server's monotonic counter set, updated with atomics on the
+// request paths and reported by GET /statsz. Latency totals pair with their
+// counters so readers can derive means without a lock; the histograms a real
+// fleet would want hang off the same choke points.
+type Stats struct {
+	SessionsCreated atomic.Uint64
+	SessionsDeleted atomic.Uint64
+
+	TicksPushed  atomic.Uint64 // admitted ticks
+	PushRejected atomic.Uint64 // ticks examined and refused by validation (a batch's aborted remainder is not counted)
+	PushNanos    atomic.Int64  // total wall time inside Streamer.Push
+
+	SnapshotRequests  atomic.Uint64 // snapshot requests admitted past routing
+	SnapshotHits      atomic.Uint64 // served straight from the generation cache
+	SnapshotCoalesced atomic.Uint64 // joined an in-flight clustering run
+	SnapshotRuns      atomic.Uint64 // clustering runs actually launched
+	SnapshotErrors    atomic.Uint64 // runs or waits that ended in an error
+	SnapshotRejected  atomic.Uint64 // 429s from admission control
+	SnapshotRunNanos  atomic.Int64  // total wall time of clustering runs
+}
+
+// StatsSnapshot is the wire form of GET /statsz: the counter values at one
+// instant plus derived means and the per-session states.
+type StatsSnapshot struct {
+	Sessions        int    `json:"sessions"`
+	SessionsCreated uint64 `json:"sessions_created"`
+	SessionsDeleted uint64 `json:"sessions_deleted"`
+
+	TicksPushed  uint64  `json:"ticks_pushed"`
+	PushRejected uint64  `json:"push_rejected"`
+	PushMeanUs   float64 `json:"push_mean_us"`
+
+	SnapshotRequests  uint64  `json:"snapshot_requests"`
+	SnapshotHits      uint64  `json:"snapshot_hits"`
+	SnapshotCoalesced uint64  `json:"snapshot_coalesced"`
+	SnapshotRuns      uint64  `json:"snapshot_runs"`
+	SnapshotErrors    uint64  `json:"snapshot_errors"`
+	SnapshotRejected  uint64  `json:"snapshot_rejected"`
+	SnapshotRunMeanMs float64 `json:"snapshot_run_mean_ms"`
+
+	SessionInfos []SessionInfo `json:"session_infos"`
+}
+
+// view reads the counters (each atomically; the set is not one atomic
+// snapshot, which is fine for monitoring) and derives the means.
+func (st *Stats) view() StatsSnapshot {
+	v := StatsSnapshot{
+		SessionsCreated:   st.SessionsCreated.Load(),
+		SessionsDeleted:   st.SessionsDeleted.Load(),
+		TicksPushed:       st.TicksPushed.Load(),
+		PushRejected:      st.PushRejected.Load(),
+		SnapshotRequests:  st.SnapshotRequests.Load(),
+		SnapshotHits:      st.SnapshotHits.Load(),
+		SnapshotCoalesced: st.SnapshotCoalesced.Load(),
+		SnapshotRuns:      st.SnapshotRuns.Load(),
+		SnapshotErrors:    st.SnapshotErrors.Load(),
+		SnapshotRejected:  st.SnapshotRejected.Load(),
+	}
+	if v.TicksPushed > 0 {
+		v.PushMeanUs = float64(st.PushNanos.Load()) / float64(v.TicksPushed) / 1e3
+	}
+	if v.SnapshotRuns > 0 {
+		v.SnapshotRunMeanMs = float64(st.SnapshotRunNanos.Load()) / float64(v.SnapshotRuns) / 1e6
+	}
+	return v
+}

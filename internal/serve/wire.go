@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"fmt"
+
+	"pfg"
+)
+
+// The wire types are the HTTP/JSON compatibility surface of pfg-serve.
+// Field names and encodings are stable; additions are backward-compatible
+// (new optional fields), removals and renames are not allowed.
+
+// CreateSessionRequest is the body of POST /v1/sessions.
+type CreateSessionRequest struct {
+	// ID names the session; it appears in URLs and must match
+	// [A-Za-z0-9._-]{1,64}.
+	ID string `json:"id"`
+	// Window is the rolling window length in ticks (≥ 2).
+	Window int `json:"window"`
+	// Method selects the clustering algorithm: "tmfg-dbht" (default),
+	// "pmfg-dbht", "complete-linkage"/"complete", "average-linkage"/"average".
+	Method string `json:"method,omitempty"`
+	// Prefix is the TMFG batch size (0 = default 10).
+	Prefix int `json:"prefix,omitempty"`
+	// Workers bounds the session's snapshot concurrency (0 = shared pool).
+	Workers int `json:"workers,omitempty"`
+	// RebuildEvery is the drift-rebuild period K in window slides
+	// (0 = default, negative disables periodic rebuilds).
+	RebuildEvery int `json:"rebuild_every,omitempty"`
+}
+
+// SessionInfo describes one session; returned by create/get/list and
+// embedded per-session in /statsz.
+type SessionInfo struct {
+	ID           string `json:"id"`
+	Window       int    `json:"window"`
+	Method       string `json:"method"`
+	Prefix       int    `json:"prefix"`
+	Workers      int    `json:"workers"`
+	RebuildEvery int    `json:"rebuild_every"`
+	// Series is the number of series, fixed by the first admitted push
+	// (0 before that).
+	Series int `json:"series"`
+	// Len is the number of ticks currently in the window.
+	Len int `json:"len"`
+	// Generation is the monotonic version stamp of the window state; it
+	// advances on every admitted tick and keys the snapshot cache.
+	Generation uint64 `json:"generation"`
+	// Exact reports whether the next snapshot is bit-identical to a batch
+	// recomputation over the window.
+	Exact bool `json:"exact"`
+}
+
+// SessionList is the body of GET /v1/sessions.
+type SessionList struct {
+	Sessions []SessionInfo `json:"sessions"`
+}
+
+// PushRequest is the body of POST /v1/sessions/{id}/push. Exactly one of
+// Sample (one tick) or Samples (a batch, applied in order) must be set.
+type PushRequest struct {
+	Sample  []float64   `json:"sample,omitempty"`
+	Samples [][]float64 `json:"samples,omitempty"`
+}
+
+// PushResponse reports how much of a push was admitted. Ticks are applied
+// in order and the first rejected tick aborts the rest, so Admitted is also
+// the index of the failing tick when an error is returned.
+type PushResponse struct {
+	Admitted   int    `json:"admitted"`
+	Len        int    `json:"len"`
+	Generation uint64 `json:"generation"`
+}
+
+// SnapshotResponse is the body of GET /v1/sessions/{id}/snapshot. All
+// clients that coalesced onto (or hit the cache of) one clustering run
+// receive byte-identical bodies for the same query: every field is derived
+// from the cached (generation, Result) pair, never from per-request state.
+type SnapshotResponse struct {
+	Session string `json:"session"`
+	Method  string `json:"method"`
+	Window  int    `json:"window"`
+	// Generation stamps the window state the result was clustered from.
+	Generation uint64          `json:"generation"`
+	Result     *pfg.ResultJSON `json:"result"`
+}
+
+// ErrorResponse is the body of every non-2xx response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the body of GET /healthz.
+type HealthResponse struct {
+	Status   string  `json:"status"`
+	UptimeS  float64 `json:"uptime_s"`
+	Sessions int     `json:"sessions"`
+}
+
+// parseMethod maps the wire method names (and the pfg-cluster CLI
+// shorthands) to pfg.Method; the empty string selects TMFG+DBHT.
+func parseMethod(s string) (pfg.Method, error) {
+	switch s {
+	case "", "tmfg-dbht":
+		return pfg.TMFGDBHT, nil
+	case "pmfg-dbht":
+		return pfg.PMFGDBHT, nil
+	case "complete", "complete-linkage":
+		return pfg.CompleteLinkage, nil
+	case "average", "average-linkage":
+		return pfg.AverageLinkage, nil
+	default:
+		return 0, fmt.Errorf("unknown method %q", s)
+	}
+}

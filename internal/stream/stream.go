@@ -66,11 +66,12 @@ type Engine struct {
 	n, window    int
 	rebuildEvery int // ≤ 0 disables periodic rebuilds
 
-	count   int  // samples currently in the window (≤ window)
-	head    int  // ring slot the next sample will occupy
-	slides  int  // slides since the last exact rebuild
-	dirty   bool // true once a slide has happened without a rebuild after it
-	corrupt bool // a cancelled kernel left g half-applied; ring is still good
+	count   int    // samples currently in the window (≤ window)
+	head    int    // ring slot the next sample will occupy
+	slides  int    // slides since the last exact rebuild
+	gen     uint64 // version counter: bumped whenever snapshot-visible state changes
+	dirty   bool   // true once a slide has happened without a rebuild after it
+	corrupt bool   // a cancelled kernel left g half-applied; ring is still good
 
 	ring []float64 // window×n, sample-major: ring[slot*n+i]
 	g    []float64 // n×n cross-product band, upper triangle maintained
@@ -124,6 +125,15 @@ func (e *Engine) Exact() bool { return !e.dirty && !e.corrupt }
 // state, the factor bounding accumulated drift.
 func (e *Engine) SlidesSinceRebuild() int { return e.slides }
 
+// Generation returns a monotonic version counter of the snapshot-visible
+// moment state: it advances on every admitted Push and on every Rebuild that
+// discards drift (so two CopyState calls observing the same generation are
+// guaranteed bit-identical moments). It is a version stamp, not a tick count —
+// a Push that triggers a periodic rebuild advances it twice. Serving layers
+// key snapshot caches on it: a cached clustering of generation g stays valid
+// until Generation() moves past g.
+func (e *Engine) Generation() uint64 { return e.gen }
+
 // Push admits one sample (one observation per series) into the window,
 // updating the moments in O(n²). The sample is validated before any state
 // changes — non-finite values and magnitudes large enough to overflow the
@@ -172,6 +182,7 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		}
 		e.dirty = true
 		e.slides++
+		e.gen++
 		if e.rebuildEvery > 0 && e.slides >= e.rebuildEvery {
 			// Deferred maintenance, not part of admitting the sample (which
 			// has already happened): if cancellation aborts it, the corrupt
@@ -199,6 +210,7 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		e.head = 0
 	}
 	e.count++
+	e.gen++
 	return nil
 }
 
@@ -230,6 +242,13 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 		// later Rebuild (the next Push retries it) fully recovers.
 		e.corrupt = true
 		return err
+	}
+	if e.dirty || e.corrupt {
+		// The rebuild discarded drift (or repaired corruption), so snapshot
+		// bits may have moved: stamp a new generation. A rebuild of an
+		// already-exact state reproduces the moments bit-for-bit and keeps
+		// the generation, so caches stay warm across redundant rebuilds.
+		e.gen++
 	}
 	e.slides, e.dirty, e.corrupt = 0, false, false
 	return nil

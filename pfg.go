@@ -2,8 +2,11 @@ package pfg
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"slices"
+	"strconv"
 	"sync"
 
 	"pfg/internal/core"
@@ -37,6 +40,19 @@ const (
 	// AverageLinkage is average-linkage HAC on the dissimilarity matrix.
 	AverageLinkage
 )
+
+// MinSeries returns the smallest number of series the method can cluster:
+// 2 for the HAC linkages, 4 for the filtered-graph methods (a TMFG/PMFG
+// starts from a 4-clique). Serving layers use it to distinguish "not enough
+// data yet" from genuine errors.
+func (m Method) MinSeries() int {
+	switch m {
+	case CompleteLinkage, AverageLinkage:
+		return 2
+	default:
+		return 4
+	}
+}
 
 func (m Method) String() string {
 	switch m {
@@ -78,6 +94,10 @@ type Result struct {
 	EdgeWeightSum float64
 	// Groups is the number of DBHT converging-bubble groups (0 for HAC).
 	Groups int
+	// Edges lists the filtered graph's undirected edges (3n−6 of them for
+	// TMFG/PMFG) in insertion order; nil for the HAC methods. The slice is
+	// owned by the Result.
+	Edges [][2]int32
 }
 
 // Cut returns flat cluster labels in [0, k).
@@ -93,6 +113,76 @@ func (r *Result) Newick(names []string) (string, error) { return r.Dendrogram.Ne
 // methods.
 func (r *Result) CopheneticCorrelation(dis *Matrix) (float64, error) {
 	return r.Dendrogram.CopheneticCorrelation(dis.Data)
+}
+
+// ResultJSON is the stable JSON wire form of a Result, shared by the
+// pfg-serve HTTP API and pfg-cluster's -json output. Field names and
+// encodings are a compatibility surface: edges are canonicalized (u < v,
+// lexicographically sorted) so the same clustering always serializes to the
+// same bytes regardless of construction order, and cut labels are keyed by
+// the decimal cluster count (JSON object keys are strings). A marshaled
+// ResultJSON round-trips through encoding/json unchanged.
+type ResultJSON struct {
+	// N is the number of clustered objects (dendrogram leaves).
+	N int `json:"n"`
+	// EdgeWeightSum is the similarity captured by the filtered graph
+	// (0 for the HAC methods).
+	EdgeWeightSum float64 `json:"edge_weight_sum"`
+	// Groups is the number of DBHT converging-bubble groups (0 for HAC).
+	Groups int `json:"groups"`
+	// Edges lists the filtered graph's 3n−6 undirected edges in canonical
+	// order; omitted for the HAC methods.
+	Edges [][2]int32 `json:"edges,omitempty"`
+	// Newick is the full dendrogram in Newick format.
+	Newick string `json:"newick"`
+	// Cuts maps a requested cluster count (decimal string) to flat labels
+	// in [0, k); omitted when no cuts were requested.
+	Cuts map[string][]int `json:"cuts,omitempty"`
+}
+
+// JSON builds the stable wire view of the result: the Newick tree (with
+// optional leaf names, nil for L0, L1, ...), the canonicalized
+// filtered-graph edge list, and flat labels at each requested cut. An
+// invalid cut (k < 1 or k > n) fails the whole view rather than silently
+// dropping the entry.
+func (r *Result) JSON(cuts []int, names []string) (*ResultJSON, error) {
+	nwk, err := r.Newick(names)
+	if err != nil {
+		return nil, err
+	}
+	v := &ResultJSON{
+		N:             r.Dendrogram.N,
+		EdgeWeightSum: r.EdgeWeightSum,
+		Groups:        r.Groups,
+		Newick:        nwk,
+	}
+	if r.Edges != nil {
+		es := make([][2]int32, len(r.Edges))
+		for i, e := range r.Edges {
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			es[i] = e
+		}
+		slices.SortFunc(es, func(a, b [2]int32) int {
+			if a[0] != b[0] {
+				return int(a[0] - b[0])
+			}
+			return int(a[1] - b[1])
+		})
+		v.Edges = es
+	}
+	if len(cuts) > 0 {
+		v.Cuts = make(map[string][]int, len(cuts))
+		for _, k := range cuts {
+			labels, err := r.Cut(k)
+			if err != nil {
+				return nil, err
+			}
+			v.Cuts[strconv.Itoa(k)] = labels
+		}
+	}
+	return v, nil
 }
 
 // Pearson computes the Pearson correlation matrix of a time-series
@@ -211,15 +301,8 @@ func validateOptions(n int, opts Options) error {
 	if opts.Prefix < 0 {
 		return fmt.Errorf("pfg: Prefix must be ≥ 0 (0 selects the default), got %d", opts.Prefix)
 	}
-	switch opts.Method {
-	case TMFGDBHT, PMFGDBHT:
-		if n < 4 {
-			return fmt.Errorf("pfg: %v needs at least 4 series, have %d", opts.Method, n)
-		}
-	case CompleteLinkage, AverageLinkage:
-		if n < 2 {
-			return fmt.Errorf("pfg: %v needs at least 2 series, have %d", opts.Method, n)
-		}
+	if min := opts.Method.MinSeries(); n < min {
+		return fmt.Errorf("pfg: %v needs at least %d series, have %d", opts.Method, min, n)
 	}
 	return nil
 }
@@ -240,13 +323,13 @@ func clusterMatrixOn(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim,
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
+		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups, Edges: r.Edges}, nil
 	case PMFGDBHT:
 		r, err := core.PMFGDBHTCtx(ctx, pool, sim, dis)
 		if err != nil {
 			return nil, err
 		}
-		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups}, nil
+		return &Result{Dendrogram: r.Dendrogram, EdgeWeightSum: r.EdgeWeightSum, Groups: r.Groups, Edges: r.Edges}, nil
 	case CompleteLinkage, AverageLinkage:
 		ownDis := false
 		if dis == nil {
@@ -288,6 +371,11 @@ func TMFG(sim *Matrix, prefix int) (edges [][2]int32, weight float64, err error)
 // DefaultRebuildEvery is the default drift-rebuild period of a Streamer: the
 // number of window slides between exact moment recomputations.
 const DefaultRebuildEvery = stream.DefaultRebuildEvery
+
+// ErrClosed is the sentinel returned by Push, Snapshot, SnapshotGen, and
+// Rebuild once the Streamer has been closed. Test for it with errors.Is; a
+// closed streamer never panics or blocks.
+var ErrClosed = errors.New("pfg: streamer is closed")
 
 // StreamOptions configures NewStreamer.
 type StreamOptions struct {
@@ -368,7 +456,7 @@ func (st *Streamer) Push(sample []float64) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return fmt.Errorf("pfg: streamer is closed")
+		return ErrClosed
 	}
 	if st.eng == nil {
 		// The series count is fixed by the first ADMITTED sample: if this
@@ -396,10 +484,20 @@ func (st *Streamer) Push(sample []float64) error {
 // does all remaining work — the O(n²) correlation finish and the clustering
 // — on private workspace buffers.
 func (st *Streamer) Snapshot(ctx context.Context) (*Result, error) {
+	r, _, err := st.SnapshotGen(ctx)
+	return r, err
+}
+
+// SnapshotGen is Snapshot plus the generation stamp of the window state the
+// snapshot was computed from, captured atomically with the moment copy: two
+// results carrying the same generation are clusterings of bit-identical
+// moments. Serving layers use the stamp as a cache key — a result of
+// generation g stays valid until Generation() moves past g.
+func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 	st.mu.RLock()
 	if st.closed {
 		st.mu.RUnlock()
-		return nil, fmt.Errorf("pfg: streamer is closed")
+		return nil, 0, ErrClosed
 	}
 	if st.eng == nil || st.eng.Len() < 2 {
 		n := 0
@@ -407,13 +505,14 @@ func (st *Streamer) Snapshot(ctx context.Context) (*Result, error) {
 			n = st.eng.Len()
 		}
 		st.mu.RUnlock()
-		return nil, fmt.Errorf("pfg: streaming window holds %d samples, need at least 2", n)
+		return nil, 0, fmt.Errorf("pfg: streaming window holds %d samples, need at least 2", n)
 	}
 	n := st.eng.N()
 	if err := validateOptions(n, st.opts.Cluster); err != nil {
 		st.mu.RUnlock()
-		return nil, err
+		return nil, 0, err
 	}
+	gen := st.eng.Generation()
 	sim := matrix.NewSymWS(st.w, n)
 	sums := st.w.Float64(n)
 	count, err := st.eng.CopyState(sim.Data, sums)
@@ -421,7 +520,7 @@ func (st *Streamer) Snapshot(ctx context.Context) (*Result, error) {
 	if err != nil {
 		sim.Release(st.w)
 		st.w.PutFloat64(sums)
-		return nil, err
+		return nil, 0, err
 	}
 
 	dis := matrix.NewSymWS(st.w, n)
@@ -430,12 +529,12 @@ func (st *Streamer) Snapshot(ctx context.Context) (*Result, error) {
 	if err != nil {
 		sim.Release(st.w)
 		dis.Release(st.w)
-		return nil, err
+		return nil, 0, err
 	}
 	r, err := clusterMatrixOn(ctx, st.pool, st.w, sim, dis, st.opts.Cluster)
 	sim.Release(st.w)
 	dis.Release(st.w)
-	return r, err
+	return r, gen, err
 }
 
 // Rebuild forces an exact recomputation of the window's moments (O(n²·T)),
@@ -445,7 +544,7 @@ func (st *Streamer) Rebuild() error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
-		return fmt.Errorf("pfg: streamer is closed")
+		return ErrClosed
 	}
 	if st.eng == nil {
 		return nil
@@ -466,6 +565,31 @@ func (st *Streamer) Len() int {
 // Window returns the window capacity in samples.
 func (st *Streamer) Window() int { return st.window }
 
+// Series returns the number of series, fixed by the first admitted Push
+// (0 before that).
+func (st *Streamer) Series() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.eng == nil {
+		return 0
+	}
+	return st.eng.N()
+}
+
+// Generation returns the monotonic version stamp of the window state: it
+// advances on every admitted Push and on every drift-discarding Rebuild, and
+// two snapshots observing the same generation are clusterings of
+// bit-identical moments (see SnapshotGen). A streamer that has not admitted
+// a sample yet — or has been closed — reports 0.
+func (st *Streamer) Generation() uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed || st.eng == nil {
+		return 0
+	}
+	return st.eng.Generation()
+}
+
 // Exact reports whether the next Snapshot is guaranteed bit-identical to a
 // batch Cluster over the same window (true while the window is filling and
 // right after a rebuild).
@@ -476,8 +600,9 @@ func (st *Streamer) Exact() bool {
 }
 
 // Close releases the streamer's owned worker pool (if any) and marks it
-// unusable. Close is idempotent; concurrent Snapshots that already hold the
-// state complete normally.
+// unusable: every later Push, Snapshot, SnapshotGen, or Rebuild returns
+// ErrClosed (never panics, never blocks). Close is idempotent; concurrent
+// Snapshots that already hold the state complete normally.
 func (st *Streamer) Close() {
 	st.mu.Lock()
 	defer st.mu.Unlock()

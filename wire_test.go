@@ -1,0 +1,194 @@
+package pfg
+
+// Tests for the stable Result JSON wire form, the Streamer's post-Close
+// sentinel contract, and the generation stamp that keys serving-layer
+// snapshot caches.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"pfg/internal/tsgen"
+)
+
+func clusterFixture(t *testing.T, method Method, n int) *Result {
+	t.Helper()
+	ds := tsgen.GenerateClassed("wire", n, 64, 3, 0.5, 11)
+	r, err := Cluster(ds.Series, Options{Method: method, Workers: 1})
+	if err != nil {
+		t.Fatalf("%v cluster: %v", method, err)
+	}
+	return r
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	for _, method := range []Method{TMFGDBHT, CompleteLinkage} {
+		t.Run(method.String(), func(t *testing.T) {
+			n := 24
+			r := clusterFixture(t, method, n)
+			v, err := r.JSON([]int{2, 5}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v.N != n {
+				t.Fatalf("N = %d, want %d", v.N, n)
+			}
+			if len(v.Cuts) != 2 || len(v.Cuts["2"]) != n || len(v.Cuts["5"]) != n {
+				t.Fatalf("bad cuts: %v", v.Cuts)
+			}
+			if !strings.HasSuffix(v.Newick, ";") {
+				t.Fatalf("newick %q does not end with ';'", v.Newick)
+			}
+			if method == TMFGDBHT {
+				if len(v.Edges) != 3*n-6 {
+					t.Fatalf("%d edges, want %d", len(v.Edges), 3*n-6)
+				}
+				for i, e := range v.Edges {
+					if e[0] >= e[1] {
+						t.Fatalf("edge %d = %v not canonical (u < v)", i, e)
+					}
+					if i > 0 && !(v.Edges[i-1][0] < e[0] ||
+						(v.Edges[i-1][0] == e[0] && v.Edges[i-1][1] < e[1])) {
+						t.Fatalf("edges not sorted at %d: %v, %v", i, v.Edges[i-1], e)
+					}
+				}
+				if v.Groups < 1 || v.EdgeWeightSum == 0 {
+					t.Fatalf("missing graph metadata: groups=%d weight=%g", v.Groups, v.EdgeWeightSum)
+				}
+			} else if v.Edges != nil || v.Groups != 0 {
+				t.Fatalf("HAC view carries graph fields: %+v", v)
+			}
+
+			// Round trip: marshal → unmarshal reproduces the exact view, and
+			// marshaling is byte-stable across calls.
+			b1, err := json.Marshal(v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back ResultJSON
+			if err := json.Unmarshal(b1, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(&back, v) {
+				t.Fatalf("round trip changed the view:\n got %+v\nwant %+v", back, v)
+			}
+			b2, err := json.Marshal(&back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("marshal not byte-stable:\n%s\n%s", b1, b2)
+			}
+		})
+	}
+}
+
+func TestResultJSONBadCut(t *testing.T) {
+	r := clusterFixture(t, CompleteLinkage, 8)
+	if _, err := r.JSON([]int{0}, nil); err == nil {
+		t.Fatal("k=0 cut accepted")
+	}
+	if _, err := r.JSON([]int{9}, nil); err == nil {
+		t.Fatal("k>n cut accepted")
+	}
+}
+
+func TestStreamerClosedSentinel(t *testing.T) {
+	st, err := NewStreamer(8, StreamOptions{Cluster: Options{Method: CompleteLinkage, Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range [][]float64{{1, 2, 3, 4}, {2, 1, 4, 3}, {0, 5, 1, 2}} {
+		if err := st.Push(x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Close()
+	st.Close() // idempotent
+
+	if err := st.Push([]float64{1, 2, 3, 4}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Push after Close: %v, want ErrClosed", err)
+	}
+	if _, err := st.Snapshot(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := st.SnapshotGen(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("SnapshotGen after Close: %v, want ErrClosed", err)
+	}
+	if err := st.Rebuild(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Rebuild after Close: %v, want ErrClosed", err)
+	}
+	if g := st.Generation(); g != 0 {
+		t.Fatalf("Generation after Close = %d, want 0", g)
+	}
+}
+
+func TestStreamerGeneration(t *testing.T) {
+	const n, window = 6, 4
+	ticks := tickStream(t, n, 10, 21)
+	st, err := NewStreamer(window, StreamOptions{Cluster: Options{Method: CompleteLinkage, Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	if g := st.Generation(); g != 0 {
+		t.Fatalf("initial generation %d, want 0", g)
+	}
+	var last uint64
+	for i, x := range ticks {
+		if err := st.Push(x); err != nil {
+			t.Fatal(err)
+		}
+		g := st.Generation()
+		if g <= last {
+			t.Fatalf("push %d: generation %d did not advance past %d", i, g, last)
+		}
+		last = g
+	}
+
+	// A rejected push must not move the generation (the window is untouched).
+	bad := make([]float64, n)
+	bad[2] = math.NaN()
+	if err := st.Push(bad); err == nil {
+		t.Fatal("non-finite sample admitted")
+	}
+	if g := st.Generation(); g != last {
+		t.Fatalf("rejected push moved generation %d → %d", last, g)
+	}
+
+	// The window has slid (10 pushes > window 4), so state is drifted and a
+	// rebuild discards drift: the generation must advance. A second rebuild
+	// of the now-exact state must keep it.
+	if st.Exact() {
+		t.Fatal("expected drifted state after slides")
+	}
+	if err := st.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	afterRebuild := st.Generation()
+	if afterRebuild <= last {
+		t.Fatalf("drift-discarding rebuild kept generation %d", last)
+	}
+	if err := st.Rebuild(); err != nil {
+		t.Fatal(err)
+	}
+	if g := st.Generation(); g != afterRebuild {
+		t.Fatalf("exact rebuild moved generation %d → %d", afterRebuild, g)
+	}
+
+	// SnapshotGen stamps the generation it clustered.
+	res, gen, err := st.SnapshotGen(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || gen != afterRebuild {
+		t.Fatalf("SnapshotGen stamp %d, want %d", gen, afterRebuild)
+	}
+}
