@@ -45,7 +45,8 @@
 //
 //	http        cmd/pfg-serve + internal/serve (multi-session JSON API,
 //	            coalesced generation-keyed snapshot cache, admission control)
-//	serving     pfg.Streamer + internal/stream (stateful rolling windows)
+//	serving     pfg.Streamer + internal/stream + internal/inc (stateful
+//	            rolling windows, cross-tick incremental clustering)
 //	api         pfg.Cluster / ClusterContext (stateless batch calls)
 //	algorithms  internal/{matrix, tmfg, pmfg, dbht, hac, graph, ...}
 //	kernels     internal/kernel (SYRK, rank-1 roll, finish, heap, scans)
@@ -55,6 +56,24 @@
 // See README.md ("Streaming" and "Serving over HTTP") for the exactness
 // guarantee and the concurrency contract, BENCH_stream.json for measured
 // tick costs, and BENCH_serve.json for cached vs uncached serving costs.
+//
+// # Incremental cross-tick clustering
+//
+// StreamOptions.Incremental (see IncrementalOptions) makes snapshots reuse
+// the most recent exact clustering across ticks instead of re-clustering
+// the window from scratch every time. The layer persists per-method warm
+// state — the recorded TMFG insertion trajectory, per-merge HAC slacks —
+// and serves the reference result while a chain of gates certifies it:
+// engine-exact boundaries (fill, rebuilds) always force an exact
+// re-cluster, as do entrywise correlation drift beyond DriftThreshold,
+// reference age beyond MaxStale, and failed strict revalidation
+// (RepairBudget/ValidateEvery). Served-stale results carry
+// Result.TicksSinceExact and Result.Drift (stale_ticks/drift on the wire);
+// exact results report 0/0, so a snapshot is always bit-identical
+// (Workers:1) to the exact clustering of the window TicksSinceExact ticks
+// ago. Streamer.IncrementalStats counts gate outcomes; BENCH_incr.json
+// records the amortized speedups with the exact fallbacks inside the
+// measured loop.
 //
 // # Wire form
 //

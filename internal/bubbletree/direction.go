@@ -84,23 +84,30 @@ func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph
 		return [3]float64{}
 	}
 	node := &d.Tree.Nodes[b]
-	// Most TMFG bubbles have at most one child; keep their result in a
-	// plain value and only fan out (and allocate the result slice) for
-	// wider nodes.
-	var singleRes [3]float64
-	var childRes [][3]float64 // nil when ≤ 1 child
-	switch len(node.Children) {
-	case 0:
-	case 1:
-		singleRes = d.visit(ctx, pool, node.Children[0], g, wdeg)
-	default:
-		childRes = make([][3]float64, len(node.Children))
-		fs := make([]func(), len(node.Children))
-		for i := range node.Children {
-			i := i
-			fs[i] = func() { childRes[i] = d.visit(ctx, pool, node.Children[i], g, wdeg) }
+	// Most TMFG bubbles have very few children; keep their results in a
+	// stack buffer and recurse sequentially, fanning out on the pool (and
+	// allocating the result slice) only for genuinely wide nodes.
+	const seqChildren = 8
+	var buf [seqChildren][3]float64
+	var childRes [][3]float64
+	switch nc := len(node.Children); {
+	case nc == 0:
+	case nc <= seqChildren:
+		childRes = buf[:nc]
+		for i, c := range node.Children {
+			childRes[i] = d.visit(ctx, pool, c, g, wdeg)
 		}
-		pool.Do(ctx, fs...)
+	default:
+		// wide is a distinct variable so the closure's capture cannot force
+		// the stack buffer above onto the heap.
+		wide := make([][3]float64, nc)
+		err := pool.ForGrain(ctx, nc, 1, func(i int) {
+			wide[i] = d.visit(ctx, pool, node.Children[i], g, wdeg)
+		})
+		if err != nil {
+			return [3]float64{}
+		}
+		childRes = wide
 	}
 	if node.Parent < 0 {
 		return [3]float64{}
@@ -123,10 +130,7 @@ func (d *Directed) visit(ctx context.Context, pool *exec.Pool, b int32, g *graph
 	// edge from a corner into a child's interior has its corner on the
 	// child's separating triangle, so the child's r covers it exactly.
 	for ci, c := range node.Children {
-		cr := singleRes
-		if childRes != nil {
-			cr = childRes[ci]
-		}
+		cr := childRes[ci]
 		csep := d.Tree.Nodes[c].Sep
 		for i := 0; i < 3; i++ {
 			for j := 0; j < 3; j++ {

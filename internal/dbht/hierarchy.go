@@ -32,10 +32,24 @@ type mergeMeta struct {
 	dist   float64 // linkage distance at merge time
 }
 
-// localResult is the dendrogram fragment produced by one clustering call.
-type localResult struct {
-	dnd   *dendro.Dendrogram
-	items []int32 // global node id per local leaf
+// sgJob is one per-subgroup linkage run (Line 25–28); grpJob is one
+// per-group run across its subgroups (Line 29–30). Each job owns a disjoint
+// segment of one flat merge backing array, so the parallel linkage runs
+// write their dendrogram fragments without allocating (hac.RunMatrixIntoWS).
+type sgJob struct {
+	g, b   int32
+	verts  []int32
+	merges []dendro.Merge // filled segment of the shared backing
+	err    error
+}
+
+type grpJob struct {
+	g      int32
+	verts  []int32   // all vertices of the group (a run of ord)
+	sets   [][]int32 // subgroup vertex runs (a run of the shared sets slice)
+	roots  []int32   // global node id per subgroup (a run of subgroupRoot)
+	merges []dendro.Merge
+	err    error
 }
 
 // buildHierarchy implements Lines 24–33 of Algorithm 4 plus the height
@@ -43,6 +57,11 @@ type localResult struct {
 // into (group, bubble) subgroups by one flat sort — the boundaries of the
 // sorted order are the subgroups, so no map-keyed accumulation is needed —
 // and the per-subgroup and per-group linkage runs nest on the same pool.
+//
+// Scratch discipline: the many tiny linkage runs share one flat merge
+// backing array (the three tiers sum to exactly n−1 merges) and fill their
+// distance matrices inline from workspace memory, so a snapshot's hierarchy
+// construction performs O(1) allocations regardless of the bubble count.
 func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, group, bubble []int32, groups []int32, apsp *graph.APSP) (*dendro.Dendrogram, error) {
 	// ord holds all vertices sorted by (group, bubble, id); every subgroup
 	// and every group is a contiguous run.
@@ -66,8 +85,6 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int
 		return nil, err
 	}
 
-	gb := &globalBuilder{n: n, w: w}
-	vdist := func(a, b int32) float64 { return apsp.At(a, b) }
 	setDist := func(a, b []int32) float64 {
 		// Complete linkage between vertex sets: for each row the inner max
 		// is the unrolled gather kernel (max is order-insensitive, so the
@@ -82,75 +99,112 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int
 		return best
 	}
 
+	// Count the (group, bubble) runs and the group runs up front so every
+	// slice below is allocated exactly once at its final size.
+	nSub, nGroups := 0, 0
+	for lo := 0; lo < n; {
+		hi := lo + 1
+		v := ord[lo]
+		newGroup := lo == 0 || group[ord[lo-1]] != group[v]
+		for hi < n && group[ord[hi]] == group[v] && bubble[ord[hi]] == bubble[v] {
+			hi++
+		}
+		nSub++
+		if newGroup {
+			nGroups++
+		}
+		lo = hi
+	}
+
+	// The flat merge backing: subgroup runs emit n−nSub merges, group runs
+	// nSub−nGroups, the top run nGroups−1 — exactly n−1 in total. Each run
+	// gets a capacity-bounded (three-index) segment.
+	backing := make([]dendro.Merge, n-1)
+	backAt := 0
+	segment := func(need int) []dendro.Merge {
+		s := backing[backAt : backAt : backAt+need]
+		backAt += need
+		return s
+	}
+
 	// Line 25–28: complete linkage within every subgroup, in parallel.
 	// Subgroups are the (group, bubble) runs of ord, in ascending order.
-	type sgJob struct {
-		g, b  int32
-		verts []int32
-		res   localResult
-		err   error
-	}
-	var jobs []*sgJob
+	jobs := make([]sgJob, 0, nSub)
 	for lo := 0; lo < n; {
 		hi := lo + 1
 		v := ord[lo]
 		for hi < n && group[ord[hi]] == group[v] && bubble[ord[hi]] == bubble[v] {
 			hi++
 		}
-		jobs = append(jobs, &sgJob{g: group[v], b: bubble[v], verts: ord[lo:hi]})
+		jobs = append(jobs, sgJob{g: group[v], b: bubble[v], verts: ord[lo:hi], merges: segment(hi - lo - 1)})
 		lo = hi
 	}
 	err = pool.ForGrain(ctx, len(jobs), 1, func(i int) {
-		j := jobs[i]
-		d, err := hac.RunWS(ctx, pool, w, len(j.verts), func(a, b int) float64 { return vdist(j.verts[a], j.verts[b]) }, hac.Complete)
-		if err != nil {
-			j.err = err
+		j := &jobs[i]
+		k := len(j.verts)
+		if k == 1 {
 			return
 		}
-		j.res = localResult{dnd: d, items: j.verts}
+		d := w.Float64(k * k)
+		for a := 0; a < k; a++ {
+			row := d[a*k : (a+1)*k]
+			arow := apsp.Dist[int(j.verts[a])*apsp.N : (int(j.verts[a])+1)*apsp.N]
+			for b := 0; b < k; b++ {
+				row[b] = arow[j.verts[b]]
+			}
+			row[a] = 0
+		}
+		j.merges, j.err = hac.RunMatrixIntoWS(ctx, pool, w, k, d, hac.Complete, j.merges)
+		w.PutFloat64(d)
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, j := range jobs {
-		if j.err != nil {
-			return nil, j.err
+	for i := range jobs {
+		if jobs[i].err != nil {
+			return nil, jobs[i].err
 		}
 	}
 	// Stitch subgroup dendrograms deterministically; jobs are already in
 	// (group, bubble) order.
-	subgroupRoot := make([]int32, len(jobs))
-	for i, j := range jobs {
-		subgroupRoot[i] = gb.appendLocal(j.res, mergeMeta{kind: intraBubble, group: j.g, bubble: j.b})
+	gb := &globalBuilder{
+		n:      n,
+		w:      w,
+		merges: make([]dendro.Merge, 0, n-1),
+		meta:   make([]mergeMeta, 0, n-1),
+	}
+	subgroupRoot := w.Int32(nSub)
+	defer w.PutInt32(subgroupRoot)
+	for i := range jobs {
+		j := &jobs[i]
+		subgroupRoot[i] = gb.appendLocal(j.merges, j.verts, mergeMeta{kind: intraBubble, group: j.g, bubble: j.b})
 	}
 
-	// Line 29–30: complete linkage across subgroups within each group.
-	type grpJob struct {
-		g     int32
-		verts []int32 // all vertices of the group (a run of ord)
-		sets  [][]int32
-		roots []int32
-		res   localResult
-		err   error
+	// Line 29–30: complete linkage across subgroups within each group. The
+	// per-group subgroup sets and roots are runs of shared flat slices.
+	setsAll := make([][]int32, nSub)
+	for i := range jobs {
+		setsAll[i] = jobs[i].verts
 	}
-	var gjobs []*grpJob
+	gjobs := make([]grpJob, 0, nGroups)
 	for lo := 0; lo < len(jobs); {
 		hi := lo + 1
 		for hi < len(jobs) && jobs[hi].g == jobs[lo].g {
 			hi++
 		}
-		j := &grpJob{g: jobs[lo].g}
-		for k := lo; k < hi; k++ {
-			j.sets = append(j.sets, jobs[k].verts)
-			j.roots = append(j.roots, subgroupRoot[k])
-		}
-		gjobs = append(gjobs, j)
+		gjobs = append(gjobs, grpJob{
+			g:      jobs[lo].g,
+			sets:   setsAll[lo:hi],
+			roots:  subgroupRoot[lo:hi],
+			merges: segment(hi - lo - 1),
+		})
 		lo = hi
 	}
 	// Group vertex runs are contiguous in ord: each group's run is the
 	// concatenation of its subgroup runs.
 	at := 0
-	for _, j := range gjobs {
+	for i := range gjobs {
+		j := &gjobs[i]
 		size := 0
 		for _, s := range j.sets {
 			size += len(s)
@@ -158,27 +212,39 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int
 		j.verts = ord[at : at+size]
 		at += size
 	}
-	gjobErrs := make([]error, len(gjobs))
 	err = pool.ForGrain(ctx, len(gjobs), 1, func(i int) {
-		j := gjobs[i]
-		d, err := hac.RunWS(ctx, pool, w, len(j.sets), func(a, b int) float64 { return setDist(j.sets[a], j.sets[b]) }, hac.Complete)
-		if err != nil {
-			gjobErrs[i] = err
+		j := &gjobs[i]
+		k := len(j.sets)
+		if k == 1 {
 			return
 		}
-		j.res = localResult{dnd: d, items: j.roots}
+		d := w.Float64(k * k)
+		for a := 0; a < k; a++ {
+			row := d[a*k : (a+1)*k]
+			for b := 0; b < k; b++ {
+				if a != b {
+					row[b] = setDist(j.sets[a], j.sets[b])
+				} else {
+					row[b] = 0
+				}
+			}
+		}
+		j.merges, j.err = hac.RunMatrixIntoWS(ctx, pool, w, k, d, hac.Complete, j.merges)
+		w.PutFloat64(d)
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, err := range gjobErrs {
-		if err != nil {
-			return nil, err
+	for i := range gjobs {
+		if gjobs[i].err != nil {
+			return nil, gjobs[i].err
 		}
 	}
-	groupRoot := make([]int32, len(gjobs))
-	for i, j := range gjobs {
-		groupRoot[i] = gb.appendLocal(j.res, mergeMeta{kind: interBubble, group: j.g, bubble: -1})
+	groupRoot := w.Int32(nGroups)
+	defer w.PutInt32(groupRoot)
+	for i := range gjobs {
+		j := &gjobs[i]
+		groupRoot[i] = gb.appendLocal(j.merges, j.roots, mergeMeta{kind: interBubble, group: j.g, bubble: -1})
 	}
 
 	// Line 31: complete linkage across groups. gjobs are in ascending group
@@ -186,19 +252,32 @@ func buildHierarchy(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int
 	if len(gjobs) != len(groups) {
 		return nil, fmt.Errorf("dbht: %d group runs for %d groups", len(gjobs), len(groups))
 	}
-	topSets := make([][]int32, len(gjobs))
-	for i, j := range gjobs {
-		topSets[i] = j.verts
+	topMerges := segment(nGroups - 1)
+	if nGroups > 1 {
+		k := nGroups
+		d := w.Float64(k * k)
+		for a := 0; a < k; a++ {
+			row := d[a*k : (a+1)*k]
+			for b := 0; b < k; b++ {
+				if a != b {
+					row[b] = setDist(gjobs[a].verts, gjobs[b].verts)
+				} else {
+					row[b] = 0
+				}
+			}
+		}
+		topMerges, err = hac.RunMatrixIntoWS(ctx, pool, w, k, d, hac.Complete, topMerges)
+		w.PutFloat64(d)
+		if err != nil {
+			return nil, err
+		}
 	}
-	dTop, err := hac.RunWS(ctx, pool, w, len(topSets), func(a, b int) float64 { return setDist(topSets[a], topSets[b]) }, hac.Complete)
-	if err != nil {
-		return nil, err
-	}
-	gb.appendLocal(localResult{dnd: dTop, items: groupRoot}, mergeMeta{kind: interGroup, group: -1, bubble: -1})
+	gb.appendLocal(topMerges, groupRoot, mergeMeta{kind: interGroup, group: -1, bubble: -1})
 
-	groupSize := make([]int, len(gjobs))
-	for i, j := range gjobs {
-		groupSize[i] = len(j.verts)
+	groupSize := w.Int32(nGroups)
+	defer w.PutInt32(groupSize)
+	for i := range gjobs {
+		groupSize[i] = int32(len(gjobs[i].verts))
 	}
 	if err := gb.assignHeights(groups, groupSize); err != nil {
 		return nil, err
@@ -218,17 +297,17 @@ type globalBuilder struct {
 	meta   []mergeMeta
 }
 
-// appendLocal translates a local dendrogram fragment (leaves = items, which
-// are global node ids) into global merges and returns the global id of the
-// fragment's root. For single-item fragments no merge is created.
-func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
-	if len(lr.items) == 1 {
-		return lr.items[0]
+// appendLocal translates a local dendrogram fragment (merges over a leaf set
+// items of global node ids) into global merges and returns the global id of
+// the fragment's root. For single-item fragments no merge is created.
+func (gb *globalBuilder) appendLocal(merges []dendro.Merge, items []int32, meta mergeMeta) int32 {
+	if len(items) == 1 {
+		return items[0]
 	}
-	localN := lr.dnd.N
-	localToGlobal := gb.w.Int32(localN + len(lr.dnd.Merges))
-	copy(localToGlobal, lr.items)
-	for i, m := range lr.dnd.Merges {
+	localN := len(items)
+	localToGlobal := gb.w.Int32(localN + len(merges))
+	copy(localToGlobal, items)
+	for i, m := range merges {
 		self := int32(gb.n + len(gb.merges))
 		a := localToGlobal[m.A]
 		b := localToGlobal[m.B]
@@ -238,7 +317,7 @@ func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
 		gb.meta = append(gb.meta, md)
 		localToGlobal[localN+i] = self
 	}
-	root := localToGlobal[localN+len(lr.dnd.Merges)-1]
+	root := localToGlobal[localN+len(merges)-1]
 	gb.w.PutInt32(localToGlobal)
 	return root
 }
@@ -249,7 +328,7 @@ func (gb *globalBuilder) appendLocal(lr localResult, meta mergeMeta) int32 {
 // [1/(nb−1), …, 1/2, 1], ordered intra-bubble first (by bubble id, then
 // merge distance) and inter-bubble after (by merge distance). groupSize[i]
 // is the vertex count of groups[i].
-func (gb *globalBuilder) assignHeights(groups []int32, groupSize []int) error {
+func (gb *globalBuilder) assignHeights(groups []int32, groupSize []int32) error {
 	// Per group: collect merge indices. Group ids are sparse bubble ids, so
 	// map them to positions first, then partition the merge indices with a
 	// count-and-fill pass.
@@ -277,7 +356,7 @@ func (gb *globalBuilder) assignHeights(groups []int32, groupSize []int) error {
 	gb.w.PutInt32(counts)
 	for p := range groups {
 		idx := perGroup.Group(p)
-		nb := groupSize[p]
+		nb := int(groupSize[p])
 		if len(idx) != nb-1 {
 			return fmt.Errorf("dbht: group %d has %d merges for %d vertices", groups[p], len(idx), nb)
 		}

@@ -141,10 +141,26 @@ func RunMatrixWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 	return runOnMatrix(ctx, pool, w, n, d, linkage)
 }
 
-// chainMerge is an NN-chain merge record over matrix slots.
-type chainMerge struct {
-	a, b int32
-	dist float64
+// RunMatrixIntoWS is RunMatrixWS writing the dendrogram's merges into
+// caller-provided storage: out's backing array must have capacity ≥ n−1
+// (its length is ignored), and the returned slice aliases it. Repeated runs
+// through a shared backing array allocate nothing, which is what the DBHT
+// hierarchy construction leans on for its many tiny per-subgroup linkages.
+// d is consumed (overwritten) as in RunMatrix.
+func RunMatrixIntoWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage, out []dendro.Merge) ([]dendro.Merge, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
+	}
+	if len(d) != n*n {
+		return nil, fmt.Errorf("hac: matrix length %d, want %d", len(d), n*n)
+	}
+	if cap(out) < n-1 {
+		return nil, fmt.Errorf("hac: merge storage capacity %d, want ≥ %d", cap(out), n-1)
+	}
+	if n == 1 {
+		return out[:0], nil
+	}
+	return runOnMatrixInto(ctx, pool, w, n, d, linkage, nil, out[:0])
 }
 
 // lwSeqCutoff is the matrix size below which the Lance-Williams row update
@@ -197,10 +213,41 @@ func (u *lwState) update(lo, hi int) {
 }
 
 func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage) (*dendro.Dendrogram, error) {
+	return runOnMatrixRec(ctx, pool, w, n, d, linkage, nil)
+}
+
+// runOnMatrixRec is runOnMatrix with an optional decision recorder: when rec
+// is non-nil, every NN-chain merge is appended to it (slots, working-scale
+// distance, and the local decision slack — see Recording) without changing
+// the produced dendrogram in any bit. Recording costs one extra masked row
+// scan per merge.
+func runOnMatrixRec(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage, rec *Recording) (*dendro.Dendrogram, error) {
+	out, err := runOnMatrixInto(ctx, pool, w, n, d, linkage, rec, make([]dendro.Merge, 0, n-1))
+	if err != nil {
+		return nil, err
+	}
+	return &dendro.Dendrogram{N: n, Merges: out}, nil
+}
+
+// runOnMatrixInto is the allocation-free core: it appends the n−1 merges to
+// out (whose backing array must have capacity ≥ n−1 beyond its length) and
+// returns the extended slice. Merges are first accumulated over matrix
+// slots, then relabeled in place (see labelInPlace).
+func runOnMatrixInto(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage, rec *Recording, out []dendro.Merge) ([]dendro.Merge, error) {
+	if rec != nil {
+		rec.reset(n, linkage)
+	}
 	if n == 2 {
 		// One merge, no chain bookkeeping: the common case for the tiny
 		// per-subgroup linkages inside DBHT hierarchy construction.
-		return &dendro.Dendrogram{N: 2, Merges: []dendro.Merge{{A: 0, B: 1, Height: d[1]}}}, nil
+		if rec != nil {
+			h := d[1]
+			if linkage == Ward {
+				h *= h
+			}
+			rec.Merges = append(rec.Merges, MergeRec{A: 0, B: 1, Dist: h, Slack: math.Inf(1)})
+		}
+		return append(out, dendro.Merge{A: 0, B: 1, Height: d[1]}), nil
 	}
 	// Ward's Lance-Williams recurrence operates on squared distances.
 	if linkage == Ward {
@@ -223,7 +270,7 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 	for i := range size {
 		size[i] = 1
 	}
-	merges := make([]chainMerge, 0, n-1)
+	base := len(out)
 	chainBuf := w.Int32(n)
 	defer w.PutInt32(chainBuf)
 	chain := chainBuf[:0]
@@ -287,7 +334,24 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 				if a > b {
 					a, b = b, a
 				}
-				merges = append(merges, chainMerge{a: a, b: b, dist: bestD})
+				out = append(out, dendro.Merge{A: a, B: b, Height: bestD})
+				if rec != nil {
+					// Decision slack: distance to x's runner-up partner. The
+					// merge decision is local — x merges with its nearest
+					// neighbor — so the decision flips only if a perturbation
+					// moves some other partner below bestD. Mask the chosen
+					// column, rescan, restore.
+					xr := d[int(x)*n : int(x)*n+n]
+					saved := xr[prev]
+					xr[prev] = math.Inf(1)
+					second, si := kernel.MinIdx(xr)
+					xr[prev] = saved
+					slack := math.Inf(1)
+					if si >= 0 && !math.IsInf(second, 1) {
+						slack = second - bestD
+					}
+					rec.Merges = append(rec.Merges, MergeRec{A: a, B: b, Dist: bestD, Slack: slack})
+				}
 				// Merge b into a with the Lance-Williams update.
 				lw.ma, lw.mb = a, b
 				lw.sa, lw.sb = float64(size[a]), float64(size[b])
@@ -309,24 +373,26 @@ func runOnMatrix(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d
 			chain = append(chain, best)
 		}
 	}
+	mine := out[base:]
 	if linkage == Ward {
-		for i := range merges {
-			merges[i].dist = math.Sqrt(merges[i].dist)
+		for i := range mine {
+			mine[i].Height = math.Sqrt(mine[i].Height)
 		}
 	}
-	return label(w, n, merges)
+	labelInPlace(w, n, mine)
+	return out, nil
 }
 
-// label converts NN-chain merges (over matrix slots) into a dendrogram by
-// sorting on merge distance and relabeling with union-find, exactly as
-// scipy's linkage does. Reducibility of the supported linkages guarantees
-// the sorted order is a valid agglomeration order.
-func label(w *ws.Workspace, n int, merges []chainMerge) (*dendro.Dendrogram, error) {
-	slices.SortStableFunc(merges, func(a, b chainMerge) int {
-		if a.dist < b.dist {
+// labelInPlace converts NN-chain merges (over matrix slots, stored in A/B)
+// into dendrogram node ids by sorting on merge height and relabeling with
+// union-find, exactly as scipy's linkage does. Reducibility of the supported
+// linkages guarantees the sorted order is a valid agglomeration order.
+func labelInPlace(w *ws.Workspace, n int, merges []dendro.Merge) {
+	slices.SortStableFunc(merges, func(a, b dendro.Merge) int {
+		if a.Height < b.Height {
 			return -1
 		}
-		if a.dist > b.dist {
+		if a.Height > b.Height {
 			return 1
 		}
 		return 0
@@ -336,24 +402,25 @@ func label(w *ws.Workspace, n int, merges []chainMerge) (*dendro.Dendrogram, err
 	for i := range parent {
 		parent[i] = int32(i)
 	}
-	var find func(x int32) int32
-	find = func(x int32) int32 {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	dnd := &dendro.Dendrogram{N: n, Merges: make([]dendro.Merge, 0, len(merges))}
-	for i, m := range merges {
+	for i := range merges {
 		// Each matrix slot is a leaf id, so find on the slot resolves to the
 		// dendrogram node currently containing that leaf.
+		m := &merges[i]
 		self := int32(n + i)
-		na := find(m.a)
-		nb := find(m.b)
-		dnd.Merges = append(dnd.Merges, dendro.Merge{A: na, B: nb, Height: m.dist})
+		na := ufFind(parent, m.A)
+		nb := ufFind(parent, m.B)
+		m.A, m.B = na, nb
 		parent[na] = self
 		parent[nb] = self
 	}
-	return dnd, nil
+}
+
+// ufFind is iterative path-halving union-find lookup (a plain function, not
+// a closure, so labelInPlace stays allocation-free).
+func ufFind(parent []int32, x int32) int32 {
+	for parent[x] != x {
+		parent[x] = parent[parent[x]]
+		x = parent[x]
+	}
+	return x
 }

@@ -1,0 +1,133 @@
+package hac
+
+import (
+	"fmt"
+	"math"
+
+	"context"
+
+	"pfg/internal/dendro"
+	"pfg/internal/exec"
+	"pfg/internal/ws"
+)
+
+// MergeRec is one recorded NN-chain merge decision: the matrix slots merged
+// (b folded into a, a < b), the merge distance at the linkage's working
+// scale (squared for Ward), and the decision slack — the gap between the
+// chosen partner and the runner-up at decision time. A perturbation that
+// moves any pairwise distance by at most δ can only flip the decision when
+// 2δ exceeds the slack, which is what ReplayValidate tests.
+type MergeRec struct {
+	A, B  int32
+	Dist  float64
+	Slack float64
+}
+
+// Recording captures the merge trajectory of one HAC run so a later tick
+// can cheaply check whether a perturbed matrix would still produce the same
+// agglomeration. It is filled by RunMatrixRecordWS and consumed by
+// ReplayValidate; the buffers are reused across runs.
+type Recording struct {
+	N       int
+	Linkage Linkage
+	Merges  []MergeRec
+}
+
+func (r *Recording) reset(n int, linkage Linkage) {
+	r.N = n
+	r.Linkage = linkage
+	r.Merges = r.Merges[:0]
+}
+
+// RunMatrixRecordWS is RunMatrixWS with decision recording: the returned
+// dendrogram is bit-identical to the plain run, and rec is overwritten with
+// the merge trajectory. d is consumed (overwritten) as in RunMatrix.
+func RunMatrixRecordWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, n int, d []float64, linkage Linkage, rec *Recording) (*dendro.Dendrogram, error) {
+	if rec == nil {
+		return RunMatrixWS(ctx, pool, w, n, d, linkage)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("hac: n must be ≥ 1, got %d", n)
+	}
+	if len(d) != n*n {
+		return nil, fmt.Errorf("hac: matrix length %d, want %d", len(d), n*n)
+	}
+	if n == 1 {
+		rec.reset(1, linkage)
+		return &dendro.Dendrogram{N: 1}, nil
+	}
+	return runOnMatrixRec(ctx, pool, w, n, d, linkage, rec)
+}
+
+// ReplayValidate replays a recorded merge trajectory against a current
+// dissimilarity matrix and reports how far the recorded decisions have
+// drifted. It applies the recorded merges in order with the Lance-Williams
+// recurrence (no nearest-neighbor scans), so one call costs O(n²) instead
+// of a full re-clustering.
+//
+// For each merge it computes dev = |h_now − h_recorded| at the working
+// scale and counts a violation when dev > absTol and 2·dev > Slack: by the
+// slack semantics above, that is exactly when the perturbation is large
+// enough that the recorded partner choice could have flipped. It returns
+// the violation count and the maximum deviation seen. A zero violation
+// count certifies the recorded agglomeration order is still a valid
+// NN-chain trajectory for the current matrix up to absTol; merge heights
+// may still differ by up to maxDev.
+//
+// d is consumed (overwritten). The matrix must use the same slot indexing
+// as the recorded run.
+func ReplayValidate(rec *Recording, w *ws.Workspace, n int, d []float64, absTol float64) (violations int, maxDev float64, err error) {
+	if rec == nil {
+		return 0, 0, fmt.Errorf("hac: nil recording")
+	}
+	if n != rec.N {
+		return 0, 0, fmt.Errorf("hac: replay n=%d against recording for n=%d", n, rec.N)
+	}
+	if len(d) != n*n {
+		return 0, 0, fmt.Errorf("hac: matrix length %d, want %d", len(d), n*n)
+	}
+	if want := n - 1; n >= 1 && len(rec.Merges) != want {
+		return 0, 0, fmt.Errorf("hac: recording has %d merges, want %d", len(rec.Merges), want)
+	}
+	if n < 2 {
+		return 0, 0, nil
+	}
+	if rec.Linkage == Ward {
+		for i := range d {
+			d[i] *= d[i]
+		}
+	}
+	for i := 0; i < n; i++ {
+		d[i*n+i] = math.Inf(1)
+	}
+	size := w.Int32(n)
+	defer w.PutInt32(size)
+	dead := w.Bitset(n)
+	defer w.PutBitset(dead)
+	for i := range size {
+		size[i] = 1
+	}
+	lw := lwState{d: d, size: size, dead: dead, linkage: rec.Linkage, n: n}
+	for _, m := range rec.Merges {
+		a, b := m.A, m.B
+		if a < 0 || b <= a || int(b) >= n || dead.Test(a) || dead.Test(b) {
+			return violations, maxDev, fmt.Errorf("hac: corrupt recording: merge (%d,%d)", a, b)
+		}
+		h := d[int(a)*n+int(b)]
+		dev := math.Abs(h - m.Dist)
+		if dev > maxDev {
+			maxDev = dev
+		}
+		if dev > absTol && 2*dev > m.Slack {
+			violations++
+		}
+		lw.ma, lw.mb = a, b
+		lw.sa, lw.sb = float64(size[a]), float64(size[b])
+		lw.na, lw.nb = int(a)*n, int(b)*n
+		lw.update(0, n)
+		d[int(a)*n+int(b)] = math.Inf(1)
+		size[a] += size[b]
+		dead.Set(b)
+	}
+	return violations, maxDev, nil
+}

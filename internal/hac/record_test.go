@@ -1,0 +1,174 @@
+package hac
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfg/internal/exec"
+	"pfg/internal/ws"
+)
+
+func randDistMatrix(rng *rand.Rand, n int) []float64 {
+	d := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := rng.Float64() + 0.05
+			d[i*n+j] = v
+			d[j*n+i] = v
+		}
+	}
+	return d
+}
+
+// TestRecordingPassive pins that recording changes no bit of the result and
+// that the recording is structurally complete.
+func TestRecordingPassive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	for _, n := range []int{1, 2, 3, 5, 17, 64} {
+		for _, lk := range []Linkage{Complete, Average, Single, Weighted, Ward} {
+			d := randDistMatrix(rng, n)
+			plain, err := RunMatrixWS(context.Background(), pool, w, n, append([]float64(nil), d...), lk)
+			if err != nil {
+				t.Fatalf("n=%d %v: plain: %v", n, lk, err)
+			}
+			var rec Recording
+			got, err := RunMatrixRecordWS(context.Background(), pool, w, n, append([]float64(nil), d...), lk, &rec)
+			if err != nil {
+				t.Fatalf("n=%d %v: recorded: %v", n, lk, err)
+			}
+			if len(got.Merges) != len(plain.Merges) || got.N != plain.N {
+				t.Fatalf("n=%d %v: shape mismatch", n, lk)
+			}
+			for i := range got.Merges {
+				if got.Merges[i] != plain.Merges[i] {
+					t.Fatalf("n=%d %v: merge %d differs: %+v vs %+v", n, lk, i, got.Merges[i], plain.Merges[i])
+				}
+			}
+			if rec.N != n || rec.Linkage != lk || len(rec.Merges) != max(n-1, 0) {
+				t.Fatalf("n=%d %v: recording shape N=%d linkage=%v merges=%d", n, lk, rec.N, rec.Linkage, len(rec.Merges))
+			}
+			for i, m := range rec.Merges {
+				if m.Slack < 0 {
+					t.Fatalf("n=%d %v: merge %d negative slack %v", n, lk, i, m.Slack)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayValidateUnchanged: replaying the recorded trajectory on the very
+// matrix it was recorded from reports zero deviation and zero violations.
+func TestReplayValidateUnchanged(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	for _, n := range []int{2, 3, 9, 48} {
+		for _, lk := range []Linkage{Complete, Average, Single, Weighted, Ward} {
+			d := randDistMatrix(rng, n)
+			var rec Recording
+			if _, err := RunMatrixRecordWS(context.Background(), pool, w, n, append([]float64(nil), d...), lk, &rec); err != nil {
+				t.Fatalf("n=%d %v: record: %v", n, lk, err)
+			}
+			viol, maxDev, err := ReplayValidate(&rec, w, n, append([]float64(nil), d...), 0)
+			if err != nil {
+				t.Fatalf("n=%d %v: replay: %v", n, lk, err)
+			}
+			if viol != 0 || maxDev != 0 {
+				t.Fatalf("n=%d %v: unchanged replay viol=%d maxDev=%v, want 0/0", n, lk, viol, maxDev)
+			}
+		}
+	}
+}
+
+// TestReplayValidateDetectsFlip: a perturbation big enough to change the
+// nearest-neighbor structure shows up as at least one violation, while a
+// perturbation far inside every slack does not.
+func TestReplayValidateDetectsFlip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	const n = 32
+	d := randDistMatrix(rng, n)
+	var rec Recording
+	if _, err := RunMatrixRecordWS(context.Background(), pool, w, n, append([]float64(nil), d...), Complete, &rec); err != nil {
+		t.Fatal(err)
+	}
+	// Tiny uniform perturbation: bounded well below half the minimum finite
+	// positive slack, so no decision can flip.
+	minSlack := math.Inf(1)
+	for _, m := range rec.Merges {
+		if m.Slack > 0 && m.Slack < minSlack {
+			minSlack = m.Slack
+		}
+	}
+	if !math.IsInf(minSlack, 1) && minSlack > 0 {
+		eps := minSlack / 8
+		pert := append([]float64(nil), d...)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				delta := (rng.Float64()*2 - 1) * eps / 2
+				pert[i*n+j] += delta
+				pert[j*n+i] = pert[i*n+j]
+			}
+		}
+		viol, maxDev, err := ReplayValidate(&rec, w, n, pert, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if maxDev == 0 {
+			t.Fatal("perturbed replay reports zero deviation")
+		}
+		if viol != 0 {
+			t.Fatalf("sub-slack perturbation flagged %d violations (maxDev=%v, minSlack=%v)", viol, maxDev, minSlack)
+		}
+	}
+	// Gross perturbation of the first merge's pair: drive that pair far
+	// apart so its recorded decision is untenable.
+	m0 := rec.Merges[0]
+	pert := append([]float64(nil), d...)
+	pert[int(m0.A)*n+int(m0.B)] += 10
+	pert[int(m0.B)*n+int(m0.A)] += 10
+	viol, _, err := ReplayValidate(&rec, w, n, append([]float64(nil), pert...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol == 0 {
+		t.Fatal("gross perturbation not flagged")
+	}
+
+	// absTol suppresses sub-threshold deviations entirely.
+	viol, maxDev, err := ReplayValidate(&rec, w, n, pert, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viol != 0 {
+		t.Fatalf("absTol=100 still flags %d violations (maxDev=%v)", viol, maxDev)
+	}
+}
+
+// TestReplayValidateErrors covers the defensive paths.
+func TestReplayValidateErrors(t *testing.T) {
+	w := ws.Get()
+	defer ws.Put(w)
+	if _, _, err := ReplayValidate(nil, w, 2, make([]float64, 4), 0); err == nil {
+		t.Fatal("nil recording accepted")
+	}
+	rec := &Recording{N: 3, Merges: make([]MergeRec, 2)}
+	if _, _, err := ReplayValidate(rec, w, 2, make([]float64, 4), 0); err == nil {
+		t.Fatal("n mismatch accepted")
+	}
+	rec = &Recording{N: 2, Merges: []MergeRec{{A: 1, B: 1}}}
+	if _, _, err := ReplayValidate(rec, w, 2, make([]float64, 4), 0); err == nil {
+		t.Fatal("corrupt merge pair accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package kernel
+
+// CorrDriftRows measures how far the correlation matrix implied by the raw
+// moments has drifted from a finished reference matrix, over matrix rows
+// [lo, hi): it returns max over i∈[lo,hi), j>i of |p(i,j) − ref[i][j]|, where
+// p(i,j) is derived from the upper-triangle cross-product band g, the rolling
+// sums s, and the PrepPearsonMoments coefficients (mu, inv, zero) with the
+// exact arithmetic of FinishPearsonMoments — the same clamps, zero-variance
+// pinning, and NaN handling — so a zero drift against a matrix finished from
+// bit-identical moments is exact, not approximate.
+//
+// Unlike the finish pass, nothing is materialized: the band is read once per
+// entry, no writes or mirrors happen, so the scan runs at the memory
+// bandwidth of the band + reference rather than the cost of producing two
+// full matrices. The incremental clustering layer runs it every tick to gate
+// the drift-bounded serve path. Distinct rows touch disjoint data, so callers
+// may split [0, n) across workers; the row maxima are order-insensitive.
+func CorrDriftRows(g []float64, n int, s, mu, inv []float64, zero []int32, ref []float64, lo, hi int) float64 {
+	drift := 0.0
+	for i := lo; i < hi; i++ {
+		row := g[i*n : (i+1)*n]
+		refRow := ref[i*n : (i+1)*n]
+		if zero[i] != 0 {
+			// The finish pins the whole row to 0 correlation.
+			for j := i + 1; j < n; j++ {
+				if d := refRow[j]; d < 0 {
+					if -d > drift {
+						drift = -d
+					}
+				} else if d > drift {
+					drift = d
+				}
+			}
+			continue
+		}
+		si, invi := s[i], inv[i]
+		// Two independent accumulator lanes keep the compare chains short;
+		// max is order-insensitive so the lane merge is exact.
+		d0, d1 := drift, 0.0
+		j := i + 1
+		for ; j+2 <= n; j += 2 {
+			p0 := finishEntry(row[j], si, mu[j], invi, inv[j], zero[j])
+			p1 := finishEntry(row[j+1], si, mu[j+1], invi, inv[j+1], zero[j+1])
+			if d := p0 - refRow[j]; d < 0 {
+				if -d > d0 {
+					d0 = -d
+				}
+			} else if d > d0 {
+				d0 = d
+			}
+			if d := p1 - refRow[j+1]; d < 0 {
+				if -d > d1 {
+					d1 = -d
+				}
+			} else if d > d1 {
+				d1 = d
+			}
+		}
+		for ; j < n; j++ {
+			p := finishEntry(row[j], si, mu[j], invi, inv[j], zero[j])
+			if d := p - refRow[j]; d < 0 {
+				if -d > d0 {
+					d0 = -d
+				}
+			} else if d > d0 {
+				d0 = d
+			}
+		}
+		if d1 > d0 {
+			d0 = d1
+		}
+		drift = d0
+	}
+	return drift
+}
+
+// finishEntry is one off-diagonal correlation entry of the moment finish:
+// the FinishPearsonMoments per-entry arithmetic (raw-moment centering,
+// zero-variance pinning, [-1,1] clamp, NaN→0) as a scalar helper.
+func finishEntry(gij, si, muj, invi, invj float64, zeroj int32) float64 {
+	p := (gij - si*muj) * invi * invj
+	switch {
+	case zeroj != 0:
+		p = 0
+	case p > 1:
+		p = 1
+	case p < -1:
+		p = -1
+	case p != p:
+		p = 0
+	}
+	return p
+}

@@ -1,0 +1,60 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestCorrDriftRows pins the drift scan to the finish arithmetic: against a
+// reference finished from the same moments the drift is exactly zero, and
+// against a perturbed reference it reproduces the naive entrywise maximum.
+func TestCorrDriftRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	const l = 24
+	for _, n := range []int{1, 2, 3, 7, 32, 65} {
+		raw, s := momentsFixture(rng, n, l)
+		mu := make([]float64, n)
+		inv := make([]float64, n)
+		zero := make([]int32, n)
+		if bad := PrepPearsonMoments(raw, n, s, l, mu, inv, zero); bad != -1 {
+			t.Fatalf("n=%d: finite moments flagged bad at %d", n, bad)
+		}
+		ref := append([]float64(nil), raw...)
+		FinishPearsonMoments(ref, nil, n, s, mu, inv, zero, 0, FinishTiles(n))
+
+		if d := CorrDriftRows(raw, n, s, mu, inv, zero, ref, 0, n); d != 0 {
+			t.Fatalf("n=%d: drift against own finish = %v, want exactly 0", n, d)
+		}
+
+		// Perturb the reference and compare with the naive scan.
+		pert := append([]float64(nil), ref...)
+		for k := 0; k < n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			pert[i*n+j] += rng.NormFloat64() * 0.01
+		}
+		want := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if d := math.Abs(ref[i*n+j] - pert[i*n+j]); d > want {
+					want = d
+				}
+			}
+		}
+		if got := CorrDriftRows(raw, n, s, mu, inv, zero, pert, 0, n); got != want {
+			t.Fatalf("n=%d: drift=%v want %v", n, got, want)
+		}
+
+		// Row-partition invariance: max over disjoint row blocks merges to
+		// the same value.
+		merged := 0.0
+		for i := 0; i < n; i++ {
+			if d := CorrDriftRows(raw, n, s, mu, inv, zero, pert, i, i+1); d > merged {
+				merged = d
+			}
+		}
+		if merged != want {
+			t.Fatalf("n=%d: per-row partition drift=%v want %v", n, merged, want)
+		}
+	}
+}

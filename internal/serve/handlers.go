@@ -73,6 +73,15 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	v.SessionInfos = make([]SessionInfo, len(sessions))
 	for i, sess := range sessions {
 		v.SessionInfos[i] = sess.Info()
+		if is, ok := sess.st.IncrementalStats(); ok {
+			v.IncrementalHits += is.Hits
+			v.IncrementalFulls += is.Fulls
+			v.IncrementalFullsDrift += is.FullDrift
+			v.IncrementalFullsStale += is.FullStale
+			v.IncrementalFullsBoundary += is.FullInit + is.FullBoundary
+			v.IncrementalFullsRepair += is.FullRepair
+			v.IncrementalRepairs += is.Repairs
+		}
 	}
 	writeJSON(w, http.StatusOK, v)
 }
@@ -88,13 +97,23 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	sess, err := s.reg.Create(req.ID, SessionConfig{
+	cfg := SessionConfig{
 		Window:       req.Window,
 		Method:       method,
 		Prefix:       req.Prefix,
 		Workers:      req.Workers,
 		RebuildEvery: req.RebuildEvery,
-	})
+	}
+	if req.Incremental != nil {
+		cfg.Incremental = pfg.IncrementalOptions{
+			Enabled:        true,
+			DriftThreshold: req.Incremental.DriftThreshold,
+			MaxStale:       req.Incremental.MaxStale,
+			RepairBudget:   req.Incremental.RepairBudget,
+			ValidateEvery:  req.Incremental.ValidateEvery,
+		}
+	}
+	sess, err := s.reg.Create(req.ID, cfg)
 	if err != nil {
 		status := http.StatusBadRequest
 		if errors.Is(err, errExists) {
@@ -300,6 +319,8 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+
+	sess.noteServed(res)
 
 	// The wire view is deterministic given (result, cuts), so reads of one
 	// generation share pre-marshaled bytes — built once even when a whole

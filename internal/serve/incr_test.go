@@ -1,0 +1,121 @@
+package serve
+
+// HTTP tests of the incremental serving surface: opting a session in at
+// create, the staleness metadata on snapshots / session info / statsz, and
+// rejection of unsupported configurations.
+
+import (
+	"net/http"
+	"testing"
+)
+
+// incrCreate creates an incremental session with the given knobs.
+func incrCreate(h *testServer, id string, window int, method string, inc *IncrementalRequest) SessionInfo {
+	h.t.Helper()
+	var info SessionInfo
+	h.mustJSON("POST", "/v1/sessions", CreateSessionRequest{
+		ID: id, Window: window, Method: method, Workers: 1, RebuildEvery: 1 << 20,
+		Incremental: inc,
+	}, http.StatusCreated, &info)
+	return info
+}
+
+func TestIncrementalSession(t *testing.T) {
+	h := newTestServer(t, Options{})
+	// ε=1 never trips on this data and MaxStale=-1 disables the staleness
+	// gate, so after the first exact snapshot everything is a served-stale hit.
+	info := incrCreate(h, "inc", 16, "complete-linkage",
+		&IncrementalRequest{DriftThreshold: 1, MaxStale: -1})
+	if !info.Incremental {
+		t.Fatalf("create info not marked incremental: %+v", info)
+	}
+	stream := ticks(t, 6, 16+8, 7)
+	for _, x := range stream[:16] {
+		h.mustJSON("POST", "/v1/sessions/inc/push", PushRequest{Sample: x}, http.StatusOK, nil)
+	}
+	var snap SnapshotResponse
+	h.mustJSON("GET", "/v1/sessions/inc/snapshot?k=2", nil, http.StatusOK, &snap)
+	if snap.Result.StaleTicks != 0 || snap.Result.Drift != 0 {
+		t.Fatalf("fill snapshot not exact: stale=%d drift=%v", snap.Result.StaleTicks, snap.Result.Drift)
+	}
+
+	// Slide the window; the loose gates keep serving the fill-time reference,
+	// and the staleness metadata climbs with the slides.
+	for _, x := range stream[16:] {
+		h.mustJSON("POST", "/v1/sessions/inc/push", PushRequest{Sample: x}, http.StatusOK, nil)
+	}
+	h.mustJSON("GET", "/v1/sessions/inc/snapshot?k=2", nil, http.StatusOK, &snap)
+	if snap.Result.StaleTicks != 8 {
+		t.Fatalf("stale snapshot reports %d ticks, want 8", snap.Result.StaleTicks)
+	}
+	if snap.Result.Drift <= 0 {
+		t.Fatalf("stale snapshot reports no drift")
+	}
+
+	// The last-served staleness surfaces on session info and /statsz.
+	h.mustJSON("GET", "/v1/sessions/inc", nil, http.StatusOK, &info)
+	if info.StaleTicks != 8 || info.Drift != snap.Result.Drift {
+		t.Fatalf("session info staleness %d/%v, want 8/%v", info.StaleTicks, info.Drift, snap.Result.Drift)
+	}
+	var stats StatsSnapshot
+	h.mustJSON("GET", "/statsz", nil, http.StatusOK, &stats)
+	if stats.IncrementalHits == 0 {
+		t.Fatalf("statsz reports no incremental hits: %+v", stats)
+	}
+	if stats.IncrementalFulls == 0 || stats.IncrementalFullsBoundary == 0 {
+		t.Fatalf("statsz missing the fill-time exact rebuild: %+v", stats)
+	}
+	if len(stats.SessionInfos) != 1 || stats.SessionInfos[0].StaleTicks != 8 {
+		t.Fatalf("statsz session info staleness: %+v", stats.SessionInfos)
+	}
+}
+
+func TestIncrementalForcedExact(t *testing.T) {
+	h := newTestServer(t, Options{})
+	// A negative ε forces the exact path on every snapshot: staleness never
+	// appears on the wire and the hit counter stays zero.
+	incrCreate(h, "strict", 12, "tmfg-dbht", &IncrementalRequest{DriftThreshold: -1})
+	stream := ticks(t, 8, 12+6, 11)
+	for i, x := range stream {
+		h.mustJSON("POST", "/v1/sessions/strict/push", PushRequest{Sample: x}, http.StatusOK, nil)
+		if i+1 < 12 {
+			continue
+		}
+		var snap SnapshotResponse
+		h.mustJSON("GET", "/v1/sessions/strict/snapshot?k=2", nil, http.StatusOK, &snap)
+		if snap.Result.StaleTicks != 0 || snap.Result.Drift != 0 {
+			t.Fatalf("tick %d: forced-exact session served stale result", i+1)
+		}
+	}
+	var stats StatsSnapshot
+	h.mustJSON("GET", "/statsz", nil, http.StatusOK, &stats)
+	if stats.IncrementalHits != 0 {
+		t.Fatalf("forced-exact session recorded %d hits", stats.IncrementalHits)
+	}
+	if stats.IncrementalFullsDrift == 0 {
+		t.Fatalf("forced-exact session never tripped the drift gate: %+v", stats)
+	}
+}
+
+func TestIncrementalUnsupportedMethod(t *testing.T) {
+	h := newTestServer(t, Options{})
+	status, body := h.do("POST", "/v1/sessions", CreateSessionRequest{
+		ID: "p", Window: 16, Method: "pmfg-dbht", Incremental: &IncrementalRequest{},
+	})
+	if status != http.StatusBadRequest {
+		t.Fatalf("incremental pmfg create: status %d, body %s", status, body)
+	}
+}
+
+func TestNonIncrementalSessionOmitsMetadata(t *testing.T) {
+	h := newTestServer(t, Options{})
+	info := createSession(h, "plain", 16, "complete-linkage")
+	if info.Incremental || info.StaleTicks != 0 || info.Drift != 0 {
+		t.Fatalf("plain session carries incremental metadata: %+v", info)
+	}
+	var stats StatsSnapshot
+	h.mustJSON("GET", "/statsz", nil, http.StatusOK, &stats)
+	if stats.IncrementalHits != 0 || stats.IncrementalFulls != 0 {
+		t.Fatalf("plain session moved incremental counters: %+v", stats)
+	}
+}

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pfg"
 )
@@ -15,6 +17,9 @@ type SessionConfig struct {
 	Prefix       int
 	Workers      int
 	RebuildEvery int
+	// Incremental opts the session's streamer into the incremental serving
+	// layer (see pfg.IncrementalOptions).
+	Incremental pfg.IncrementalOptions
 }
 
 // Session is one named streaming feed: a pfg.Streamer plus the serving
@@ -35,6 +40,20 @@ type Session struct {
 	// ringReserved is the session's share of the aggregate ring-buffer
 	// budget, claimed at the first push; guarded by the registry mutex.
 	ringReserved int
+
+	// lastStale and lastDrift record the staleness metadata of the most
+	// recently served snapshot (zero until one is served, and always zero
+	// for non-incremental sessions). Atomics: the snapshot path updates them
+	// outside any session lock.
+	lastStale atomic.Int64
+	lastDrift atomic.Uint64 // math.Float64bits
+}
+
+// noteServed records the staleness metadata of a snapshot that was just
+// served, for Info and /statsz.
+func (s *Session) noteServed(r *pfg.Result) {
+	s.lastStale.Store(int64(r.TicksSinceExact))
+	s.lastDrift.Store(math.Float64bits(r.Drift))
 }
 
 // Info reports the session's current externally-visible state.
@@ -50,6 +69,9 @@ func (s *Session) Info() SessionInfo {
 		Len:          s.st.Len(),
 		Generation:   s.st.Generation(),
 		Exact:        s.st.Exact(),
+		Incremental:  s.cfg.Incremental.Enabled,
+		StaleTicks:   int(s.lastStale.Load()),
+		Drift:        math.Float64frombits(s.lastDrift.Load()),
 	}
 }
 
@@ -152,6 +174,7 @@ func (r *Registry) Create(id string, cfg SessionConfig) (*Session, error) {
 	st, err := pfg.NewStreamer(cfg.Window, pfg.StreamOptions{
 		Cluster:      pfg.Options{Method: cfg.Method, Prefix: cfg.Prefix, Workers: cfg.Workers},
 		RebuildEvery: cfg.RebuildEvery,
+		Incremental:  cfg.Incremental,
 	})
 	if err != nil {
 		return nil, err

@@ -42,6 +42,18 @@ type StatsSnapshot struct {
 	SnapshotRejected  uint64  `json:"snapshot_rejected"`
 	SnapshotRunMeanMs float64 `json:"snapshot_run_mean_ms"`
 
+	// Incremental serving-layer totals, summed over live incremental
+	// sessions at read time (a deleted session's history leaves the totals):
+	// snapshots served from a still-valid reference clustering vs. exact
+	// rebuilds, with the rebuilds broken down by which gate forced them.
+	IncrementalHits          uint64 `json:"incremental_hits"`
+	IncrementalFulls         uint64 `json:"incremental_fulls"`
+	IncrementalFullsDrift    uint64 `json:"incremental_fulls_drift"`
+	IncrementalFullsStale    uint64 `json:"incremental_fulls_stale"`
+	IncrementalFullsBoundary uint64 `json:"incremental_fulls_boundary"`
+	IncrementalFullsRepair   uint64 `json:"incremental_fulls_repair"`
+	IncrementalRepairs       uint64 `json:"incremental_repairs"`
+
 	SessionInfos []SessionInfo `json:"session_infos"`
 }
 

@@ -27,6 +27,31 @@ type CreateSessionRequest struct {
 	// RebuildEvery is the drift-rebuild period K in window slides
 	// (0 = default, negative disables periodic rebuilds).
 	RebuildEvery int `json:"rebuild_every,omitempty"`
+	// Incremental, when present, opts the session into the incremental
+	// serving layer: snapshots reuse the last exact clustering while the
+	// window's correlation drift stays inside the configured bound, falling
+	// back to an exact rebuild otherwise. An empty object selects the
+	// defaults. Not supported for method "pmfg-dbht".
+	Incremental *IncrementalRequest `json:"incremental,omitempty"`
+}
+
+// IncrementalRequest configures the incremental serving layer of a session;
+// the fields mirror pfg.IncrementalOptions and zero values select the same
+// defaults (ε = 0.02, max staleness 64, strict revalidation off).
+type IncrementalRequest struct {
+	// DriftThreshold is ε: the largest entrywise correlation drift under
+	// which a stale reference clustering may still be served (0 = default;
+	// negative forces an exact rebuild on every snapshot).
+	DriftThreshold float64 `json:"drift_threshold,omitempty"`
+	// MaxStale bounds how many ticks a reference clustering may be served
+	// past its build (0 = default, negative disables the bound).
+	MaxStale int `json:"max_stale,omitempty"`
+	// RepairBudget > 0 enables strict revalidation of the recorded
+	// clustering trajectory against the drifted window.
+	RepairBudget int `json:"repair_budget,omitempty"`
+	// ValidateEvery is the revalidation cadence in served-stale snapshots
+	// (0 = default).
+	ValidateEvery int `json:"validate_every,omitempty"`
 }
 
 // SessionInfo describes one session; returned by create/get/list and
@@ -49,6 +74,15 @@ type SessionInfo struct {
 	// Exact reports whether the next snapshot is bit-identical to a batch
 	// recomputation over the window.
 	Exact bool `json:"exact"`
+	// Incremental reports whether the session runs the incremental serving
+	// layer.
+	Incremental bool `json:"incremental,omitempty"`
+	// StaleTicks and Drift describe the last snapshot this session served:
+	// how many ticks older than the window its clustering is, and the
+	// entrywise correlation drift accumulated since it was built. Both are
+	// zero for exact snapshots and for non-incremental sessions.
+	StaleTicks int     `json:"stale_ticks,omitempty"`
+	Drift      float64 `json:"drift,omitempty"`
 }
 
 // SessionList is the body of GET /v1/sessions.

@@ -1,0 +1,299 @@
+package tmfg
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"pfg/internal/bubbletree"
+	"pfg/internal/exec"
+	"pfg/internal/graph"
+	"pfg/internal/matrix"
+	"pfg/internal/ws"
+)
+
+// Cand is one recorded insertion decision: vertex Vert inserted into face
+// Face, whose vertex triple at decision time was Tri, with recorded gain
+// (the sum of the three new edge weights).
+type Cand struct {
+	Gain float64
+	Vert int32
+	Face int32
+	Tri  [3]int32
+}
+
+// RoundRec is one batch-insertion round: a slice [Off, Off+Len) of the
+// recording's flat candidate arena, applied in order, plus the decision
+// margin — the gap between the smallest applied gain and the best candidate
+// left unapplied (+Inf when every candidate was applied, negative when a
+// deduplicated-away candidate outranked an applied one).
+type RoundRec struct {
+	Off, Len int32
+	Margin   float64
+}
+
+// Recording captures the full decision trajectory of one TMFG construction:
+// the seed clique (with its row-sum margin) and, per round, the applied
+// batch with per-decision gains and the round's selection margin. It is
+// filled by BuildRecordWS, consumed by Revalidate / ResumeWS, and reusable
+// across constructions without reallocation.
+type Recording struct {
+	N, Prefix    int
+	Initial      [4]int32
+	CliqueMargin float64
+	Rounds       []RoundRec
+	Cands        []Cand // flat arena indexed by Rounds
+}
+
+// Round returns round i's applied batch.
+func (r *Recording) Round(i int) []Cand {
+	rr := r.Rounds[i]
+	return r.Cands[rr.Off : rr.Off+rr.Len]
+}
+
+func (r *Recording) reset(n, prefix int) {
+	r.N, r.Prefix = n, prefix
+	r.CliqueMargin = 0
+	r.Rounds = r.Rounds[:0]
+	r.Cands = r.Cands[:0]
+}
+
+// appendRound records one applied batch, resolving each candidate's face
+// triple from the live face table (called before the batch is applied, so
+// the faces are still alive).
+func (r *Recording) appendRound(b *builder, batch []candidate, margin float64) {
+	off := int32(len(r.Cands))
+	for _, c := range batch {
+		r.Cands = append(r.Cands, Cand{
+			Gain: c.gain,
+			Vert: c.vert,
+			Face: c.face,
+			Tri:  b.faces[c.face].v,
+		})
+	}
+	r.Rounds = append(r.Rounds, RoundRec{Off: off, Len: int32(len(batch)), Margin: margin})
+}
+
+// BuildRecordWS is BuildWS with decision recording: the returned result is
+// bit-identical to the plain build, and rec is overwritten with the
+// construction's decision trajectory. A nil rec degrades to BuildWS.
+func BuildRecordWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s *matrix.Sym, prefix int, rec *Recording) (*Result, error) {
+	if rec == nil {
+		return BuildWS(ctx, pool, w, s, prefix)
+	}
+	n := s.N
+	if n < 4 {
+		return nil, fmt.Errorf("tmfg: need at least 4 vertices, have %d", n)
+	}
+	if prefix < 1 {
+		return nil, fmt.Errorf("tmfg: prefix must be ≥ 1, got %d", prefix)
+	}
+	rec.reset(n, prefix)
+	b := builderPool.Get().(*builder)
+	defer b.recycle()
+	b.init(ctx, pool, w, s, prefix)
+	b.rec = rec
+	if err := b.initClique(); err != nil {
+		return nil, err
+	}
+	for len(b.remaining) > 0 {
+		if err := b.round(); err != nil {
+			return nil, err
+		}
+	}
+	b.finishTree()
+	g, err := graph.FromEdgesWS(w, n, b.weightedEdges())
+	if err != nil {
+		return nil, fmt.Errorf("tmfg: internal error building graph: %w", err)
+	}
+	return &Result{
+		Graph:   g,
+		Edges:   b.edges,
+		Tree:    b.tree,
+		Initial: b.initial,
+		Rounds:  b.rounds,
+	}, nil
+}
+
+// Revalidate checks how much of a recorded trajectory is certified stable
+// against the perturbed similarity matrix s, given delta — an upper bound
+// on the entrywise perturbation |s_now − s_recorded|∞. It returns the
+// number of leading rounds whose selection decisions provably (up to the
+// margin test below) survive the perturbation; ResumeWS can replay that
+// prefix and rebuild only the suffix.
+//
+// Per round, each applied candidate's gain is recomputed exactly from its
+// recorded face triple (three loads — the face table is not rebuilt), and
+// unapplied candidates are bounded by 3·delta (a gain sums three matrix
+// entries). The round is certified while 2·max(maxDev, 3·delta) ≤ Margin:
+// no unapplied candidate can overtake the applied batch. The test is a
+// certificate for the selection cut, not for intra-batch ordering or for
+// per-face best-vertex churn, so callers that need bit-exact equality must
+// compare the resumed construction against the reference (the incremental
+// layer does exactly that).
+//
+// The seed clique is not revalidated here; a clique change surfaces as a
+// divergence error from ResumeWS or as an edge mismatch in the caller's
+// comparison.
+func Revalidate(rec *Recording, s *matrix.Sym, delta float64) int {
+	if rec == nil || s == nil || s.N != rec.N {
+		return 0
+	}
+	n := s.N
+	data := s.Data
+	floor := 3 * delta
+	for ri := range rec.Rounds {
+		maxDev := floor
+		for _, c := range rec.Round(ri) {
+			row := data[int(c.Vert)*n : int(c.Vert)*n+n]
+			g := row[c.Tri[0]] + row[c.Tri[1]] + row[c.Tri[2]]
+			if dev := math.Abs(g - c.Gain); dev > maxDev {
+				maxDev = dev
+			}
+		}
+		if 2*maxDev > rec.Rounds[ri].Margin {
+			return ri
+		}
+	}
+	return len(rec.Rounds)
+}
+
+// ResumeWS rebuilds a TMFG by replaying the first upTo recorded rounds
+// verbatim — no row sums, no gain scans, no candidate sorts — and then
+// continuing exact construction (gain recomputation + batch selection) on
+// the current matrix for the remaining vertices. upTo = 0 degrades to a
+// full BuildWS; upTo = len(rec.Rounds) replays the whole trajectory and
+// only re-derives edge weights.
+//
+// Replay validates every step against the live face table (face alive,
+// triple matches, vertex not yet inserted); any mismatch returns an error,
+// signalling the recording no longer describes a valid construction and
+// the caller must fall back to a full build.
+//
+// When the recorded decisions are still the ones exact construction would
+// make on s (which Revalidate estimates and the caller verifies), the
+// result is bit-identical to BuildWS(s) with the same prefix.
+func ResumeWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s *matrix.Sym, prefix int, rec *Recording, upTo int) (*Result, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("tmfg: resume with nil recording")
+	}
+	if upTo == 0 {
+		return BuildWS(ctx, pool, w, s, prefix)
+	}
+	n := s.N
+	if n != rec.N {
+		return nil, fmt.Errorf("tmfg: resume n=%d against recording for n=%d", n, rec.N)
+	}
+	if n < 4 {
+		return nil, fmt.Errorf("tmfg: need at least 4 vertices, have %d", n)
+	}
+	if prefix < 1 {
+		return nil, fmt.Errorf("tmfg: prefix must be ≥ 1, got %d", prefix)
+	}
+	if upTo < 0 || upTo > len(rec.Rounds) {
+		return nil, fmt.Errorf("tmfg: resume round %d out of range [0, %d]", upTo, len(rec.Rounds))
+	}
+	b := builderPool.Get().(*builder)
+	defer b.recycle()
+	b.init(ctx, pool, w, s, prefix)
+	if err := b.initCliqueFrom(rec.Initial); err != nil {
+		return nil, err
+	}
+	for ri := 0; ri < upTo; ri++ {
+		b.rounds++
+		b.need = b.need[:0]
+		for _, c := range rec.Round(ri) {
+			if c.Vert < 0 || int(c.Vert) >= n || int(c.Face) >= len(b.faces) {
+				return nil, fmt.Errorf("tmfg: resume diverged at round %d: candidate out of range", ri)
+			}
+			f := &b.faces[c.Face]
+			if !f.alive || f.v != c.Tri || b.inserted.Test(c.Vert) {
+				return nil, fmt.Errorf("tmfg: resume diverged at round %d: face %d no longer matches", ri, c.Face)
+			}
+			b.insert(c.Vert, c.Face)
+		}
+	}
+	// One compaction for the whole replayed prefix (replay never scans
+	// remaining), preserving ascending order for the gain kernel.
+	k := 0
+	for _, v := range b.remaining {
+		if !b.inserted.Test(v) {
+			b.remaining[k] = v
+			k++
+		}
+	}
+	b.remaining = b.remaining[:k]
+	// Gains were deferred during replay; compute them for the surviving
+	// faces, then hand off to the exact per-round loop.
+	if len(b.remaining) > 0 {
+		b.need = b.need[:0]
+		for fi := range b.faces {
+			if b.faces[fi].alive {
+				b.need = append(b.need, int32(fi))
+			}
+		}
+		if err := pool.ForGrain(ctx, len(b.need), 1, func(i int) { b.recomputeGain(b.need[i]) }); err != nil {
+			return nil, err
+		}
+		for len(b.remaining) > 0 {
+			if err := b.round(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	b.finishTree()
+	g, err := graph.FromEdgesWS(w, n, b.weightedEdges())
+	if err != nil {
+		return nil, fmt.Errorf("tmfg: internal error building graph: %w", err)
+	}
+	return &Result{
+		Graph:   g,
+		Edges:   b.edges,
+		Tree:    b.tree,
+		Initial: b.initial,
+		Rounds:  b.rounds,
+	}, nil
+}
+
+// initCliqueFrom seeds the builder from a recorded clique instead of
+// recomputing row sums: edges, faces, bubble-tree root, and the remaining
+// set are laid out exactly as initClique would, but face gains are deferred
+// (replayed rounds never read them).
+func (b *builder) initCliqueFrom(c [4]int32) error {
+	n := b.s.N
+	for i := 0; i < 4; i++ {
+		if c[i] < 0 || int(c[i]) >= n {
+			return fmt.Errorf("tmfg: recorded clique vertex %d out of range", c[i])
+		}
+		if b.inserted.Test(c[i]) {
+			return fmt.Errorf("tmfg: recorded clique repeats vertex %d", c[i])
+		}
+		b.inserted.Set(c[i])
+	}
+	b.initial = c
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.edges = append(b.edges, [2]int32{c[i], c[j]})
+		}
+	}
+	b.remaining = b.remaining[:0]
+	for v := int32(0); v < int32(n); v++ {
+		if !b.inserted.Test(v) {
+			b.remaining = append(b.remaining, v)
+		}
+	}
+	b.tree.Nodes = append(b.tree.Nodes, bubbletree.Node{
+		Vertices: b.quad(c[0], c[1], c[2], c[3]),
+		Parent:   -1,
+		Sep:      [3]int32{bubbletree.NoVertex, bubbletree.NoVertex, bubbletree.NoVertex},
+	})
+	b.tree.Root = 0
+	b.faces = append(b.faces,
+		face{v: [3]int32{c[0], c[1], c[2]}, bubble: 0, alive: true, best: needsGain},
+		face{v: [3]int32{c[0], c[1], c[3]}, bubble: 0, alive: true, best: needsGain},
+		face{v: [3]int32{c[0], c[2], c[3]}, bubble: 0, alive: true, best: needsGain},
+		face{v: [3]int32{c[1], c[2], c[3]}, bubble: 0, alive: true, best: needsGain},
+	)
+	b.outerFace = 0
+	return nil
+}

@@ -1,0 +1,245 @@
+package tmfg
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"pfg/internal/exec"
+	"pfg/internal/matrix"
+	"pfg/internal/ws"
+)
+
+func sameResult(t *testing.T, tag string, a, b *Result) {
+	t.Helper()
+	if a.Initial != b.Initial {
+		t.Fatalf("%s: initial clique %v vs %v", tag, a.Initial, b.Initial)
+	}
+	if len(a.Edges) != len(b.Edges) {
+		t.Fatalf("%s: %d edges vs %d", tag, len(a.Edges), len(b.Edges))
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatalf("%s: edge %d: %v vs %v", tag, i, a.Edges[i], b.Edges[i])
+		}
+	}
+	if len(a.Tree.Nodes) != len(b.Tree.Nodes) || a.Tree.Root != b.Tree.Root {
+		t.Fatalf("%s: bubble tree shape differs", tag)
+	}
+	for i := range a.Tree.Nodes {
+		na, nb := &a.Tree.Nodes[i], &b.Tree.Nodes[i]
+		if na.Parent != nb.Parent || na.Sep != nb.Sep || len(na.Vertices) != len(nb.Vertices) {
+			t.Fatalf("%s: bubble node %d differs", tag, i)
+		}
+		for j := range na.Vertices {
+			if na.Vertices[j] != nb.Vertices[j] {
+				t.Fatalf("%s: bubble node %d vertices differ", tag, i)
+			}
+		}
+	}
+}
+
+// TestRecordingPassive: recording changes no bit of the construction and
+// captures one round record per insertion round covering all n-4 vertices.
+func TestRecordingPassive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	for _, n := range []int{4, 5, 8, 33, 64} {
+		for _, prefix := range []int{1, 3, 16} {
+			s := randomSym(rng, n)
+			plain, err := BuildWS(context.Background(), pool, w, s, prefix)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: plain: %v", n, prefix, err)
+			}
+			var rec Recording
+			got, err := BuildRecordWS(context.Background(), pool, w, s, prefix, &rec)
+			if err != nil {
+				t.Fatalf("n=%d p=%d: recorded: %v", n, prefix, err)
+			}
+			sameResult(t, "recorded vs plain", plain, got)
+			if rec.N != n || rec.Prefix != prefix || len(rec.Rounds) != got.Rounds {
+				t.Fatalf("n=%d p=%d: recording shape N=%d Prefix=%d rounds=%d want %d",
+					n, prefix, rec.N, rec.Prefix, len(rec.Rounds), got.Rounds)
+			}
+			total := 0
+			for ri := range rec.Rounds {
+				total += len(rec.Round(ri))
+			}
+			if total != n-4 {
+				t.Fatalf("n=%d p=%d: %d recorded insertions, want %d", n, prefix, total, n-4)
+			}
+			plain.Graph.Release(w)
+			got.Graph.Release(w)
+		}
+	}
+}
+
+// TestResumeReplaysFullTrajectory: resuming at every cut point of an
+// unchanged matrix reproduces the full build bit for bit — including
+// upTo=0 (pure full build) and upTo=len (pure replay).
+func TestResumeReplaysFullTrajectory(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	for _, prefix := range []int{1, 4} {
+		const n = 24
+		s := randomSym(rng, n)
+		var rec Recording
+		ref, err := BuildRecordWS(context.Background(), pool, w, s, prefix, &rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for upTo := 0; upTo <= len(rec.Rounds); upTo++ {
+			got, err := ResumeWS(context.Background(), pool, w, s, prefix, &rec, upTo)
+			if err != nil {
+				t.Fatalf("p=%d upTo=%d: %v", prefix, upTo, err)
+			}
+			sameResult(t, "resume", ref, got)
+			if got.Rounds != ref.Rounds {
+				t.Fatalf("p=%d upTo=%d: %d rounds vs %d", prefix, upTo, got.Rounds, ref.Rounds)
+			}
+			got.Graph.Release(w)
+		}
+		ref.Graph.Release(w)
+	}
+}
+
+// TestRevalidateUnchangedAndPerturbed: an unchanged matrix certifies the
+// whole trajectory; a gross perturbation of the very first insertion's
+// support certifies strictly less.
+func TestRevalidateUnchangedAndPerturbed(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	const n = 48
+	s := randomSym(rng, n)
+	var rec Recording
+	res, err := BuildRecordWS(context.Background(), pool, w, s, 1, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Graph.Release(w)
+	if got := Revalidate(&rec, s, 0); got != len(rec.Rounds) {
+		t.Fatalf("unchanged matrix certified %d/%d rounds", got, len(rec.Rounds))
+	}
+	// A delta bound so large no margin survives certifies nothing.
+	if got := Revalidate(&rec, s, 1e9); got != 0 {
+		t.Fatalf("huge delta certified %d rounds, want 0", got)
+	}
+	// Perturb the first recorded insertion's gain far beyond its margin.
+	c0 := rec.Round(0)[0]
+	pert := matrix.NewSym(n)
+	copy(pert.Data, s.Data)
+	pert.Set(int(c0.Vert), int(c0.Tri[0]), -100)
+	if got := Revalidate(&rec, pert, 0); got != 0 {
+		t.Fatalf("perturbed first round still certified %d rounds", got)
+	}
+	// Mismatched shapes certify nothing.
+	if got := Revalidate(&rec, matrix.NewSym(n+1), 0); got != 0 {
+		t.Fatalf("shape mismatch certified %d rounds", got)
+	}
+	if got := Revalidate(nil, s, 0); got != 0 {
+		t.Fatalf("nil recording certified %d rounds", got)
+	}
+}
+
+// TestResumeDivergenceDetected: replaying against a recording whose steps no
+// longer describe a valid construction errors out instead of corrupting.
+func TestResumeDivergenceDetected(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	const n = 16
+	s := randomSym(rng, n)
+	var rec Recording
+	res, err := BuildRecordWS(context.Background(), pool, w, s, 2, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Graph.Release(w)
+
+	// Corrupt a recorded triple: replay must detect the face mismatch.
+	bad := rec
+	bad.Cands = append([]Cand(nil), rec.Cands...)
+	bad.Cands[0].Tri[0] = bad.Cands[0].Tri[0] + 1
+	if _, err := ResumeWS(context.Background(), pool, w, s, 2, &bad, len(bad.Rounds)); err == nil {
+		t.Fatal("corrupt triple replayed without error")
+	}
+	// Out-of-range vertex.
+	bad.Cands = append([]Cand(nil), rec.Cands...)
+	bad.Cands[0].Vert = int32(n)
+	if _, err := ResumeWS(context.Background(), pool, w, s, 2, &bad, len(bad.Rounds)); err == nil {
+		t.Fatal("out-of-range vertex replayed without error")
+	}
+	// Duplicate insertion of an already-inserted vertex.
+	bad.Cands = append([]Cand(nil), rec.Cands...)
+	if len(bad.Cands) >= 2 {
+		bad.Cands[1] = bad.Cands[0]
+		if _, err := ResumeWS(context.Background(), pool, w, s, 2, &bad, len(bad.Rounds)); err == nil {
+			t.Fatal("duplicate insertion replayed without error")
+		}
+	}
+	// Bad clique in the recording.
+	bad = rec
+	bad.Initial = [4]int32{0, 0, 1, 2}
+	if _, err := ResumeWS(context.Background(), pool, w, s, 2, &bad, len(bad.Rounds)); err == nil {
+		t.Fatal("repeated clique vertex replayed without error")
+	}
+	// upTo out of range.
+	if _, err := ResumeWS(context.Background(), pool, w, s, 2, &rec, len(rec.Rounds)+1); err == nil {
+		t.Fatal("upTo beyond recording accepted")
+	}
+}
+
+// TestResumeAfterSmallPerturbation is the intended warm-start flow: build
+// and record on tick t, perturb mildly, revalidate, resume from the
+// certified prefix, and check the result equals an exact build on the
+// perturbed matrix whenever the certified prefix's decisions indeed held.
+func TestResumeAfterSmallPerturbation(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	pool := exec.New(1)
+	defer pool.Close()
+	w := ws.Get()
+	defer ws.Put(w)
+	const n = 40
+	s := randomSym(rng, n)
+	var rec Recording
+	res, err := BuildRecordWS(context.Background(), pool, w, s, 1, &rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Graph.Release(w)
+
+	const eps = 1e-7
+	pert := matrix.NewSym(n)
+	copy(pert.Data, s.Data)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pert.Set(i, j, pert.At(i, j)+(rng.Float64()*2-1)*eps)
+		}
+	}
+	upTo := Revalidate(&rec, pert, eps)
+	if upTo == 0 {
+		t.Fatalf("eps=%v perturbation certified no rounds", eps)
+	}
+	exact, err := BuildWS(context.Background(), pool, w, pert, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ResumeWS(context.Background(), pool, w, pert, 1, &rec, upTo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "warm vs exact on perturbed", exact, warm)
+	exact.Graph.Release(w)
+	warm.Graph.Release(w)
+}

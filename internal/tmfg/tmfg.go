@@ -126,6 +126,7 @@ func BuildWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s *matrix.Sy
 			return nil, err
 		}
 	}
+	b.finishTree()
 	g, err := graph.FromEdgesWS(w, n, b.weightedEdges())
 	if err != nil {
 		return nil, fmt.Errorf("tmfg: internal error building graph: %w", err)
@@ -159,6 +160,14 @@ type builder struct {
 	vertsArena []int32 // backing array for all bubble vertex quads
 	outerFace  int32   // face index of the current outer face
 
+	// Bubble-tree child lists are kept as intrusive linked lists during
+	// construction (workspace buffers, appended at the tail so insertion
+	// order is preserved) and materialized into one flat arena by
+	// finishTree — one allocation instead of one per bubble.
+	firstChild []int32
+	lastChild  []int32
+	nextSib    []int32
+
 	initial [4]int32
 	rounds  int
 
@@ -169,6 +178,11 @@ type builder struct {
 	need     []int32 // face ids requiring gain recomputation this round
 	wedges   []graph.Edge
 	taken    *bitset.Set // workspace bitset, cleared between uses
+
+	// rec, when non-nil, captures every selection decision for later
+	// revalidation and warm resumption (see record.go). Recording does not
+	// change any bit of the construction.
+	rec *Recording
 }
 
 // init prepares a (possibly recycled) builder for one construction.
@@ -188,20 +202,31 @@ func (b *builder) init(ctx context.Context, pool *exec.Pool, w *ws.Workspace, s 
 	// sized exactly so construction never regrows them.
 	b.tree = &bubbletree.Tree{Nodes: make([]bubbletree.Node, 0, n-3)}
 	b.vertsArena = make([]int32, 0, 4*(n-3))
+	b.firstChild = w.Int32(n)
+	b.lastChild = w.Int32(n)
+	b.nextSib = w.Int32(n)
+	for i := 0; i < n; i++ {
+		b.firstChild[i], b.lastChild[i], b.nextSib[i] = -1, -1, -1
+	}
 	b.cands = b.cands[:0]
 	b.need = b.need[:0]
 	b.rounds = 0
 	b.outerFace = 0
+	b.rec = nil
 }
 
 // recycle releases workspace buffers and drops result-owned references
 // before returning the builder to the pool.
 func (b *builder) recycle() {
 	b.w.PutInt32(b.remaining[:0])
+	b.w.PutInt32(b.firstChild)
+	b.w.PutInt32(b.lastChild)
+	b.w.PutInt32(b.nextSib)
 	b.w.PutBitset(b.inserted)
 	b.w.PutBitset(b.taken)
 	b.ctx, b.pool, b.w, b.s = nil, nil, nil, nil
 	b.edges, b.remaining, b.inserted, b.taken = nil, nil, nil, nil
+	b.firstChild, b.lastChild, b.nextSib = nil, nil, nil
 	b.tree, b.vertsArena = nil, nil
 	builderPool.Put(b)
 }
@@ -246,6 +271,14 @@ func (b *builder) initClique() error {
 		return err
 	}
 	copy(b.initial[:], order[:4])
+	if b.rec != nil {
+		b.rec.Initial = b.initial
+		if n > 4 {
+			b.rec.CliqueMargin = sums[order[3]] - sums[order[4]]
+		} else {
+			b.rec.CliqueMargin = math.Inf(1)
+		}
+	}
 	c := b.initial
 	for i := 0; i < 4; i++ {
 		b.inserted.Set(c[i])
@@ -396,6 +429,23 @@ func (b *builder) selectBatch() ([]candidate, error) {
 			}
 		}
 		b.batch = append(b.batch[:0], best)
+		if b.rec != nil {
+			// Runner-up gain over every other (face, vertex) candidate.
+			margin := math.Inf(1)
+			for i := range b.faces {
+				g := &b.faces[i]
+				if !g.alive || g.best < 0 {
+					continue
+				}
+				if int32(i) == best.face && g.best == best.vert {
+					continue
+				}
+				if m := best.gain - g.gain; m < margin {
+					margin = m
+				}
+			}
+			b.rec.appendRound(b, b.batch, margin)
+		}
 		return b.batch, nil
 	}
 	b.cands = b.cands[:0]
@@ -428,6 +478,22 @@ func (b *builder) selectBatch() ([]candidate, error) {
 		b.taken.Clear(c.vert)
 	}
 	b.batch = out
+	if b.rec != nil {
+		// The applied batch is a subsequence of the sorted candidate list;
+		// the first sorted candidate not applied (deduplicated away or
+		// beyond the prefix) is the runner-up that bounds the decision.
+		margin := math.Inf(1)
+		k := 0
+		for _, c := range b.cands {
+			if k < len(out) && c == out[k] {
+				k++
+				continue
+			}
+			margin = out[len(out)-1].gain - c.gain
+			break
+		}
+		b.rec.appendRound(b, out, margin)
+	}
 	return out, nil
 }
 
@@ -456,12 +522,12 @@ func (b *builder) insert(v, fi int32) {
 		oldRoot := b.tree.Root
 		b.tree.Nodes[oldRoot].Parent = newBubble
 		b.tree.Nodes[oldRoot].Sep = f.v
-		b.tree.Nodes[newBubble].Children = append(b.tree.Nodes[newBubble].Children, oldRoot)
+		b.addChild(newBubble, oldRoot)
 		b.tree.Root = newBubble
 	} else {
 		node.Parent = old
 		b.tree.Nodes = append(b.tree.Nodes, node)
-		b.tree.Nodes[old].Children = append(b.tree.Nodes[old].Children, newBubble)
+		b.addChild(old, newBubble)
 	}
 
 	base := int32(len(b.faces))
@@ -474,6 +540,38 @@ func (b *builder) insert(v, fi int32) {
 		b.outerFace = base // {v, x, y}
 	}
 	b.need = append(b.need, base, base+1, base+2)
+}
+
+// addChild appends c to p's child list (tail insertion preserves the order
+// the old per-node append produced, which the direction pass's float sums
+// depend on bit for bit).
+func (b *builder) addChild(p, c int32) {
+	if b.lastChild[p] < 0 {
+		b.firstChild[p] = c
+	} else {
+		b.nextSib[b.lastChild[p]] = c
+	}
+	b.lastChild[p] = c
+}
+
+// finishTree materializes the intrusive child lists into per-node Children
+// slices carved from one flat arena (which escapes with the tree). Must run
+// exactly once, after the last insert.
+func (b *builder) finishTree() {
+	nn := len(b.tree.Nodes)
+	if nn <= 1 {
+		return
+	}
+	arena := make([]int32, 0, nn-1)
+	for i := range b.tree.Nodes {
+		start := len(arena)
+		for c := b.firstChild[i]; c >= 0; c = b.nextSib[c] {
+			arena = append(arena, c)
+		}
+		if len(arena) > start {
+			b.tree.Nodes[i].Children = arena[start:len(arena):len(arena)]
+		}
+	}
 }
 
 // weightedEdges attaches similarity weights to the edge list, reusing the

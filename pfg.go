@@ -13,6 +13,7 @@ import (
 	"pfg/internal/dendro"
 	"pfg/internal/exec"
 	"pfg/internal/hac"
+	"pfg/internal/inc"
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
 	"pfg/internal/stream"
@@ -98,6 +99,18 @@ type Result struct {
 	// TMFG/PMFG) in insertion order; nil for the HAC methods. The slice is
 	// owned by the Result.
 	Edges [][2]int32
+	// TicksSinceExact is the age, in window generations, of the exact
+	// clustering this result was served from. It is 0 for batch results and
+	// for snapshots clustered from their own window state, and positive only
+	// for incremental streaming snapshots (see StreamOptions.Incremental),
+	// which serve the most recent exact clustering while the window stays
+	// within the drift bound.
+	TicksSinceExact int
+	// Drift is the measured entrywise deviation ‖corr_now − corr_ref‖∞
+	// between the current window's correlation matrix and the one this
+	// result was clustered from. It is 0 whenever TicksSinceExact is 0 and
+	// at most the configured drift threshold otherwise.
+	Drift float64
 }
 
 // Cut returns flat cluster labels in [0, k).
@@ -138,6 +151,11 @@ type ResultJSON struct {
 	// Cuts maps a requested cluster count (decimal string) to flat labels
 	// in [0, k); omitted when no cuts were requested.
 	Cuts map[string][]int `json:"cuts,omitempty"`
+	// StaleTicks is Result.TicksSinceExact; omitted (0) for exact results,
+	// so pre-incremental serializations are byte-identical.
+	StaleTicks int `json:"stale_ticks,omitempty"`
+	// Drift is Result.Drift; omitted (0) for exact results.
+	Drift float64 `json:"drift,omitempty"`
 }
 
 // JSON builds the stable wire view of the result: the Newick tree (with
@@ -155,6 +173,8 @@ func (r *Result) JSON(cuts []int, names []string) (*ResultJSON, error) {
 		EdgeWeightSum: r.EdgeWeightSum,
 		Groups:        r.Groups,
 		Newick:        nwk,
+		StaleTicks:    r.TicksSinceExact,
+		Drift:         r.Drift,
 	}
 	if r.Edges != nil {
 		es := make([][2]int32, len(r.Edges))
@@ -392,6 +412,65 @@ type StreamOptions struct {
 	// a negative value disables periodic rebuilds (Rebuild can still be
 	// called explicitly).
 	RebuildEvery int
+	// Incremental enables the cross-tick incremental clustering layer (see
+	// IncrementalOptions). The zero value leaves it off: every snapshot
+	// clusters the window from scratch.
+	Incremental IncrementalOptions
+}
+
+// IncrementalOptions configures the incremental clustering layer of a
+// Streamer: instead of re-clustering the rolling window on every snapshot,
+// the streamer keeps the most recent exact clustering and serves it while
+// the window's correlation matrix provably stays close to the state that
+// clustering was computed from.
+//
+// Serving contract. A snapshot is re-clustered exactly (and becomes the new
+// reference) whenever (1) the engine's moments are exact — during window
+// fill and on the first snapshot after a periodic or forced Rebuild, which
+// preserves the streamer's bit-identity guarantees at every exact boundary;
+// (2) the measured entrywise correlation drift since the reference exceeds
+// DriftThreshold; (3) the reference is MaxStale generations old; or (4)
+// strict revalidation (RepairBudget) fails to certify the reference's
+// recorded decisions. Otherwise the snapshot serves an owned copy of the
+// reference, with Result.TicksSinceExact and Result.Drift reporting its
+// age and the measured drift.
+type IncrementalOptions struct {
+	// Enabled turns the incremental layer on. Supported for the TMFGDBHT,
+	// CompleteLinkage, and AverageLinkage methods.
+	Enabled bool
+	// DriftThreshold is the serving bound ε: the largest entrywise
+	// correlation deviation from the reference clustering's window that may
+	// be served incrementally. 0 selects the default (0.02); a negative
+	// value forces an exact re-cluster on every snapshot.
+	DriftThreshold float64
+	// MaxStale bounds the reference's age in window generations. 0 selects
+	// the default (64); negative disables the staleness gate.
+	MaxStale int
+	// RepairBudget > 0 enables strict decision revalidation every
+	// ValidateEvery snapshots: the reference clustering's recorded
+	// decisions (TMFG insertion trajectory, HAC merge slacks) are
+	// re-certified against the current matrix, warm-repairing TMFG
+	// trajectories when at most RepairBudget rounds went dirty, and falling
+	// back to an exact re-cluster when certification fails.
+	RepairBudget int
+	// ValidateEvery is the strict-mode cadence in snapshots (0 selects the
+	// default of 4). Ignored unless RepairBudget > 0.
+	ValidateEvery int
+}
+
+// IncrementalStats counts incremental-layer gate outcomes for a Streamer
+// (see Streamer.IncrementalStats). Fulls is the total number of exact
+// re-clusterings; the FullX fields break it down by the gate that forced
+// it. Hits counts snapshots served from the reference.
+type IncrementalStats struct {
+	Hits         uint64
+	Fulls        uint64
+	FullInit     uint64
+	FullBoundary uint64
+	FullDrift    uint64
+	FullStale    uint64
+	FullRepair   uint64
+	Repairs      uint64
 }
 
 // Streamer is the stateful serving layer over the batch pipeline: it
@@ -422,6 +501,7 @@ type Streamer struct {
 	ownPool bool
 	w       *ws.Workspace
 	eng     *stream.Engine // created by the first Push
+	inc     *inc.Manager   // non-nil iff Incremental.Enabled
 	closed  bool
 }
 
@@ -438,6 +518,31 @@ func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
 		opts.RebuildEvery = DefaultRebuildEvery
 	}
 	st := &Streamer{window: window, opts: opts, w: ws.New()}
+	if opts.Incremental.Enabled {
+		cfg := inc.Config{
+			DriftThreshold: opts.Incremental.DriftThreshold,
+			MaxStale:       opts.Incremental.MaxStale,
+			RepairBudget:   opts.Incremental.RepairBudget,
+			ValidateEvery:  opts.Incremental.ValidateEvery,
+		}
+		switch opts.Cluster.Method {
+		case TMFGDBHT:
+			cfg.Kind = inc.TMFGDBHT
+			cfg.Prefix = opts.Cluster.Prefix
+			if cfg.Prefix == 0 {
+				cfg.Prefix = 10
+			}
+		case CompleteLinkage:
+			cfg.Kind = inc.HACLinkage
+			cfg.Linkage = hac.Complete
+		case AverageLinkage:
+			cfg.Kind = inc.HACLinkage
+			cfg.Linkage = hac.Average
+		default:
+			return nil, fmt.Errorf("pfg: incremental streaming does not support method %v", opts.Cluster.Method)
+		}
+		st.inc = inc.NewManager(cfg)
+	}
 	if opts.Cluster.Workers > 0 {
 		st.pool = exec.New(opts.Cluster.Workers)
 		st.ownPool = true
@@ -513,6 +618,7 @@ func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 		return nil, 0, err
 	}
 	gen := st.eng.Generation()
+	exact := st.eng.Exact()
 	sim := matrix.NewSymWS(st.w, n)
 	sums := st.w.Float64(n)
 	count, err := st.eng.CopyState(sim.Data, sums)
@@ -521,6 +627,23 @@ func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 		sim.Release(st.w)
 		st.w.PutFloat64(sums)
 		return nil, 0, err
+	}
+
+	if st.inc != nil {
+		out, err := st.inc.Snapshot(ctx, st.pool, st.w, sim, sums, count, gen, exact)
+		sim.Release(st.w)
+		st.w.PutFloat64(sums)
+		if err != nil {
+			return nil, 0, err
+		}
+		return &Result{
+			Dendrogram:      out.Dendrogram,
+			EdgeWeightSum:   out.EdgeWeightSum,
+			Groups:          out.Groups,
+			Edges:           out.Edges,
+			TicksSinceExact: out.Stale,
+			Drift:           out.Drift,
+		}, gen, nil
 	}
 
 	dis := matrix.NewSymWS(st.w, n)
@@ -597,6 +720,27 @@ func (st *Streamer) Exact() bool {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
 	return st.eng == nil || st.eng.Exact()
+}
+
+// IncrementalStats returns the incremental layer's gate counters and
+// whether the layer is enabled; a disabled streamer reports zeroes and
+// false. Counters accumulate over the streamer's lifetime and may be read
+// concurrently with snapshots.
+func (st *Streamer) IncrementalStats() (IncrementalStats, bool) {
+	if st.inc == nil {
+		return IncrementalStats{}, false
+	}
+	s := st.inc.Stats()
+	return IncrementalStats{
+		Hits:         s.Hits,
+		Fulls:        s.Fulls,
+		FullInit:     s.FullInit,
+		FullBoundary: s.FullBoundary,
+		FullDrift:    s.FullDrift,
+		FullStale:    s.FullStale,
+		FullRepair:   s.FullRepair,
+		Repairs:      s.Repairs,
+	}, true
 }
 
 // Close releases the streamer's owned worker pool (if any) and marks it
