@@ -54,6 +54,7 @@ func main() {
 	window := flag.Int("window", 256, "with -follow: rolling window length in ticks")
 	every := flag.Int("every", 16, "with -follow: print a snapshot every this many ticks")
 	rebuild := flag.Int("rebuild", 0, "with -follow: exact drift-rebuild period K in window slides (0 = default)")
+	precision := flag.String("precision", "float64", "with -follow: moment storage mode, float64 (bit-exact) or float32 (half the memory bandwidth, ~1e-5 correlation error)")
 	flag.Parse()
 	if *k < 1 || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pfg-cluster -k K [flags] data.csv")
@@ -84,7 +85,17 @@ func main() {
 		if *labeled || *ari || *newick != "" || *jsonOut {
 			fatal(fmt.Errorf("-follow does not support -labeled/-ari/-newick/-json"))
 		}
-		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, opts); err != nil {
+		var prec pfg.Precision
+		switch *precision {
+		case "float64":
+			prec = pfg.Float64
+		case "float32":
+			prec = pfg.Float32
+		default:
+			fatal(fmt.Errorf("unknown precision %q (want float64 or float32)", *precision))
+		}
+		fmt.Fprintf(os.Stderr, "pfg-cluster: compute kernels %s, %s moments\n", pfg.KernelISA(), prec)
+		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, prec, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -137,7 +148,7 @@ func main() {
 
 // runFollow drives the streaming engine over a tick-oriented CSV: each row
 // is one sample across all series, pushed in file order.
-func runFollow(path string, k, window, every, rebuild int, opts pfg.Options) error {
+func runFollow(path string, k, window, every, rebuild int, prec pfg.Precision, opts pfg.Options) error {
 	if every < 1 {
 		return fmt.Errorf("-every must be ≥ 1, got %d", every)
 	}
@@ -150,7 +161,7 @@ func runFollow(path string, k, window, every, rebuild int, opts pfg.Options) err
 		defer f.Close()
 		r = f
 	}
-	st, err := pfg.NewStreamer(window, pfg.StreamOptions{Cluster: opts, RebuildEvery: rebuild})
+	st, err := pfg.NewStreamer(window, pfg.StreamOptions{Cluster: opts, RebuildEvery: rebuild, Precision: prec})
 	if err != nil {
 		return err
 	}

@@ -34,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"pfg"
 	"pfg/internal/serve"
 )
 
@@ -62,6 +63,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The kernel line is informational; the "listening on" line below is a
+	// scraped interface (smoke tests and scripts parse the address) and must
+	// keep its exact format.
+	fmt.Fprintf(os.Stderr, "pfg-serve: compute kernels %s\n", pfg.KernelISA())
 	fmt.Fprintf(os.Stderr, "pfg-serve: listening on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

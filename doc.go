@@ -40,8 +40,14 @@
 // the ErrClosed sentinel from every method (never panics or blocks). The
 // window state carries a monotonic Generation stamp — bumped by every
 // admitted Push — and SnapshotGen returns the stamp its result was
-// clustered from, which is what serving-layer caches key on. The layer
-// stack becomes
+// clustered from, which is what serving-layer caches key on.
+//
+// StreamOptions.Precision selects the moment-storage mode: Float64 (the
+// default) carries the full bit-determinism contract; Float32 halves the
+// per-tick memory bandwidth and the ring bytes a serving layer charges per
+// session, trading the cross-mode bit contract for a documented correlation
+// error bound (Float32CorrBound — snapshots stay deterministic and
+// worker-count independent within the mode). The layer stack becomes
 //
 //	http        cmd/pfg-serve + internal/serve (multi-session JSON API,
 //	            coalesced generation-keyed snapshot cache, admission control)
@@ -102,9 +108,21 @@
 // gain recomputation. Kernels are sequential over explicit ranges — the
 // algorithm layers drive them in parallel — and bit-deterministic: worker
 // count and chunk partitioning can change the work order but never an
-// output bit. README.md ("Kernel layer") documents the tiling scheme, the
+// output bit.
+//
+// The hottest kernels carry two backends selected at init: hand-written
+// AVX2 assembly on capable amd64 hosts, and the always-compiled pure-Go
+// scalar cores everywhere else (forced by -tags purego or PFG_NOSIMD=1).
+// The backends are bit-identical in float64 — the vector code avoids FMA,
+// vectorizes across matrix columns rather than the time dimension, and
+// mirrors scalar operand order — and KernelISA reports which one this
+// process runs. SYRK additionally accumulates in KC-sized time panels
+// folded in ascending order, which makes the band invariant to T-panel
+// partitioning and lets matrix.SyrkUpperWS parallelize one large-T
+// correlation build across panels with bit-identical output at any worker
+// count. README.md ("Kernel layer") documents the tiling scheme, the
 // determinism guarantee, and how to pick tile sizes; BENCH_kernels.json
-// records the measured speedups.
+// and BENCH_simd.json record the measured speedups.
 //
 // See the examples/ directory for runnable programs and README.md for the
 // architecture overview and the context-aware API.

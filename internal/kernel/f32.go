@@ -1,0 +1,88 @@
+package kernel
+
+// Float32 storage-mode kernels. The streaming engine's opt-in float32 mode
+// (stream.PrecisionFloat32) keeps the series ring and the moment band in
+// float32, halving the memory bandwidth of the per-tick roll — the dominant
+// cost at large n — and halving the ring bytes charged against serve's
+// resource ceilings. The kernels below mirror their float64 counterparts
+// with float32 arithmetic; per-series sums stay float64 (they cost O(n), not
+// O(n²), and keeping them exact removes the worst cancellation term from the
+// finish pass). Float32 mode has no bit-determinism contract against the
+// float64 batch path — only the documented precision bound (see
+// stream.Float32CorrBound) and the same partition-invariance guarantees:
+// each entry is updated by a fixed operation sequence, so worker count and
+// band partitioning never change a bit within the mode.
+
+// Rank1RollUpperF32 is Rank1RollUpper over a float32 band and float32
+// sample vectors: g[i][j] += xNew[i]·xNew[j] − xOld[i]·xOld[j] in float32
+// arithmetic, rows [i0, i1) of the upper triangle.
+func Rank1RollUpperF32(g []float32, n int, xNew, xOld []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		a, b := xNew[i], xOld[i]
+		row := g[i*n : (i+1)*n : (i+1)*n]
+		j := i
+		for ; j+4 <= n; j += 4 {
+			row[j] += a*xNew[j] - b*xOld[j]
+			row[j+1] += a*xNew[j+1] - b*xOld[j+1]
+			row[j+2] += a*xNew[j+2] - b*xOld[j+2]
+			row[j+3] += a*xNew[j+3] - b*xOld[j+3]
+		}
+		for ; j < n; j++ {
+			row[j] += a*xNew[j] - b*xOld[j]
+		}
+	}
+}
+
+// Rank1UpdateUpperF32 is Rank1UpdateUpper over a float32 band:
+// g[i][j] += x[i]·x[j] in float32 arithmetic, rows [i0, i1) of the upper
+// triangle.
+func Rank1UpdateUpperF32(g []float32, n int, x []float32, i0, i1 int) {
+	for i := i0; i < i1; i++ {
+		xi := x[i]
+		row := g[i*n : (i+1)*n : (i+1)*n]
+		j := i
+		for ; j+4 <= n; j += 4 {
+			row[j] += xi * x[j]
+			row[j+1] += xi * x[j+1]
+			row[j+2] += xi * x[j+2]
+			row[j+3] += xi * x[j+3]
+		}
+		for ; j < n; j++ {
+			row[j] += xi * x[j]
+		}
+	}
+}
+
+// SyrkUpperBandF32 recomputes rows [i0, i1) of the upper triangle of the
+// float32 moment band exactly from the float32 series matrix z (n×l
+// row-major): c[i][j] = Σₜ z[i][t]·z[j][t] as a single ascending-t float32
+// chain per entry. It is the periodic-rebuild anchor of float32 streaming
+// mode: a sequence of Rank1UpdateUpperF32 calls in sample order from a
+// zeroed band reproduces it bit-for-bit (one multiply and one add per entry
+// per sample, same order), which is what pins fill-phase and rebuild
+// snapshots to each other within the mode. No panel fold is needed: the
+// float32 path never runs T-panel-parallel (the band is already half the
+// traffic, and the mode has no cross-backend bit contract to preserve).
+func SyrkUpperBandF32(z []float32, n, l int, c []float32, i0, i1 int) {
+	if l == 0 {
+		for i := i0; i < i1; i++ {
+			row := c[i*n : (i+1)*n]
+			for j := i; j < n; j++ {
+				row[j] = 0
+			}
+		}
+		return
+	}
+	for i := i0; i < i1; i++ {
+		ai := z[i*l : (i+1)*l : (i+1)*l]
+		row := c[i*n : (i+1)*n]
+		for j := i; j < n; j++ {
+			bj := z[j*l : (j+1)*l : (j+1)*l]
+			var acc float32
+			for t := 0; t < l; t++ {
+				acc += ai[t] * bj[t]
+			}
+			row[j] = acc
+		}
+	}
+}

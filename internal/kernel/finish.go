@@ -106,31 +106,46 @@ func FinishPearsonMoments(sim, dis []float64, n int, s, mu, inv []float64, zero 
 					continue
 				}
 				si, invi := s[i], inv[i]
-				for j := js; j < j1; j++ {
-					p := (row[j] - si*mu[j]) * invi * inv[j]
-					switch {
-					case zero[j] != 0:
-						p = 0
-					case p > 1:
-						p = 1
-					case p < -1:
-						p = -1
-					case p != p: // NaN from overflowed cross products
-						p = 0
-					}
-					row[j] = p
-					sim[j*n+i] = p
-					if dis != nil {
-						v := 2 * (1 - p)
-						if v < 0 {
-							v = 0
-						}
-						d := math.Sqrt(v)
-						dis[i*n+j] = d
-						dis[j*n+i] = d
-					}
+				if useAVX2 && j1-js >= 8 {
+					q := (j1 - js) &^ 3
+					finishRowAVX2(sim, dis, n, si, invi, mu, inv, zero, i, js, q)
+					finishRowGo(sim, dis, n, si, invi, mu, inv, zero, i, js+q, j1)
+					continue
 				}
+				finishRowGo(sim, dis, n, si, invi, mu, inv, zero, i, js, j1)
 			}
+		}
+	}
+}
+
+// finishRowGo is the scalar per-entry finish transform over columns [js, j1)
+// of row i — the oracle the vector backend is pinned to bit-for-bit. The
+// transform is elementwise (no accumulation chain), so any column
+// partitioning produces identical bits.
+func finishRowGo(sim, dis []float64, n int, si, invi float64, mu, inv []float64, zero []int32, i, js, j1 int) {
+	row := sim[i*n : (i+1)*n]
+	for j := js; j < j1; j++ {
+		p := (row[j] - si*mu[j]) * invi * inv[j]
+		switch {
+		case zero[j] != 0:
+			p = 0
+		case p > 1:
+			p = 1
+		case p < -1:
+			p = -1
+		case p != p: // NaN from overflowed cross products
+			p = 0
+		}
+		row[j] = p
+		sim[j*n+i] = p
+		if dis != nil {
+			v := 2 * (1 - p)
+			if v < 0 {
+				v = 0
+			}
+			d := math.Sqrt(v)
+			dis[i*n+j] = d
+			dis[j*n+i] = d
 		}
 	}
 }

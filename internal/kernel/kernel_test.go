@@ -10,8 +10,10 @@ import (
 // --- SYRK -------------------------------------------------------------------
 
 // TestSyrkMatchesDot pins every upper-triangle entry of the blocked kernel
-// to the sequential scalar dot product — bit-exact, not within tolerance:
-// the kernel accumulates in ascending t order regardless of tiling.
+// to the panel-folded scalar dot product — bit-exact, not within tolerance:
+// within a T-panel the kernel accumulates in ascending t order regardless of
+// tiling, and panels fold in ascending order (DotPanels; for l ≤ syrkKC this
+// is the plain sequential dot).
 func TestSyrkMatchesDot(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 33} {
@@ -27,7 +29,7 @@ func TestSyrkMatchesDot(t *testing.T) {
 			SyrkUpperBand(z, n, l, c, 0, n)
 			for i := 0; i < n; i++ {
 				for j := i; j < n; j++ {
-					want := Dot(z[i*l:(i+1)*l], z[j*l:(j+1)*l])
+					want := DotPanels(z[i*l:(i+1)*l], z[j*l:(j+1)*l])
 					got := c[i*n+j]
 					if math.Float64bits(got) != math.Float64bits(want) {
 						t.Fatalf("n=%d l=%d: c[%d,%d]=%v, scalar dot %v", n, l, i, j, got, want)

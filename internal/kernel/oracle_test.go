@@ -1,0 +1,281 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Oracle bit-equality tests: every dispatched kernel (AVX2 on capable amd64
+// hosts, scalar elsewhere and under -tags purego) must produce bit-identical
+// float64 results to the always-compiled scalar cores. Shapes deliberately
+// include awkward lengths (n%8 ≠ 0, sub-tile tails, single rows) and the
+// non-finite fuzz-crasher patterns from the PR 4 harness (all ±Inf, mixed
+// Inf/NaN-producing products), because those are exactly where lane masks,
+// clamp instructions, and NaN propagation can silently diverge from the
+// scalar semantics. On hosts without AVX2 the tests compare scalar to scalar
+// and pass trivially — the point is that the same suite gates every backend.
+
+// fuzzShapes fills z with the adversarial value mix: normals plus ±Inf,
+// ±MaxFloat64, zeros, and denormals.
+func fuzzFill(rng *rand.Rand, z []float64) {
+	specials := []float64{
+		math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1),
+		math.MaxFloat64, -math.MaxFloat64, math.SmallestNonzeroFloat64, 1, -1,
+	}
+	for i := range z {
+		switch rng.Intn(4) {
+		case 0:
+			z[i] = specials[rng.Intn(len(specials))]
+		default:
+			z[i] = rng.NormFloat64()
+		}
+	}
+}
+
+func bitsEqual(a, b []float64) int {
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestOracleSyrkUpperRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, tc := range []struct{ n, l int }{
+		{1, 1}, {3, 7}, {8, 16}, {9, 33}, {15, 64}, {16, 100}, {17, 129},
+		{31, 40}, {33, 257}, {40, syrkKC + 9}, {23, 2*syrkKC + 3},
+	} {
+		n, l := tc.n, tc.l
+		for fuzz := 0; fuzz < 2; fuzz++ {
+			z := make([]float64, n*l)
+			if fuzz == 1 {
+				fuzzFill(rng, z)
+			} else {
+				for i := range z {
+					z[i] = rng.NormFloat64()
+				}
+			}
+			got := make([]float64, n*n)
+			want := make([]float64, n*n)
+			SyrkUpperBand(z, n, l, got, 0, n)
+			syrkUpperRangeGo(z, n, l, want, 0, n, 0, l, true)
+			if i := bitsEqual(got, want); i >= 0 {
+				t.Fatalf("n=%d l=%d fuzz=%d: dispatched SYRK diverges from scalar at %d: %v vs %v",
+					n, l, fuzz, i, got[i], want[i])
+			}
+			// Awkward bands: single rows, odd splits.
+			banded := make([]float64, n*n)
+			for _, cut := range [][2]int{{0, 1}, {1, min(3, n)}, {min(3, n), n}} {
+				if cut[0] < cut[1] {
+					SyrkUpperRange(z, n, l, banded, cut[0], cut[1], 0, l, true)
+				}
+			}
+			if i := bitsEqual(banded, want); i >= 0 {
+				t.Fatalf("n=%d l=%d fuzz=%d: banded SYRK diverges at %d", n, l, fuzz, i)
+			}
+		}
+	}
+}
+
+// TestOracleSyrkPanelSplit pins the fold invariance the parallel SYRK is
+// built on: computing panel-aligned sub-ranges separately — the first with
+// first=true, the rest folding in ascending order — matches the whole-range
+// call bit-for-bit, for both backends against the scalar whole-range oracle.
+func TestOracleSyrkPanelSplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const n = 13
+	for _, l := range []int{syrkKC, syrkKC + 1, 2 * syrkKC, 3*syrkKC + 37} {
+		z := make([]float64, n*l)
+		fuzzFill(rng, z)
+		want := make([]float64, n*n)
+		syrkUpperRangeGo(z, n, l, want, 0, n, 0, l, true)
+
+		split := make([]float64, n*n)
+		for k0 := 0; k0 < l; k0 += syrkKC {
+			k1 := min(k0+syrkKC, l)
+			SyrkUpperRange(z, n, l, split, 0, n, k0, k1, k0 == 0)
+		}
+		if i := bitsEqual(split, want); i >= 0 {
+			t.Fatalf("l=%d: panel-split SYRK diverges at %d: %v vs %v", l, i, split[i], want[i])
+		}
+
+		// Private-band accumulation + AddUpper fold, as the parallel driver
+		// does: panel 0 in place, later panels into scratch, folded ascending.
+		priv := make([]float64, n*n)
+		SyrkUpperRange(z, n, l, priv, 0, n, 0, min(syrkKC, l), true)
+		scratch := make([]float64, n*n)
+		for k0 := syrkKC; k0 < l; k0 += syrkKC {
+			k1 := min(k0+syrkKC, l)
+			SyrkUpperRange(z, n, l, scratch, 0, n, k0, k1, true)
+			AddUpper(priv, scratch, n, 0, n)
+		}
+		if i := bitsEqual(priv, want); i >= 0 {
+			t.Fatalf("l=%d: private-band fold diverges at %d: %v vs %v", l, i, priv[i], want[i])
+		}
+	}
+}
+
+func TestOracleRank1(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 15, 16, 17, 33, 100} {
+		for fuzz := 0; fuzz < 2; fuzz++ {
+			base := make([]float64, n*n)
+			xNew := make([]float64, n)
+			xOld := make([]float64, n)
+			if fuzz == 1 {
+				fuzzFill(rng, base)
+				fuzzFill(rng, xNew)
+				fuzzFill(rng, xOld)
+			} else {
+				for i := range base {
+					base[i] = rng.NormFloat64()
+				}
+				for i := range xNew {
+					xNew[i] = rng.NormFloat64()
+					xOld[i] = rng.NormFloat64()
+				}
+			}
+
+			got := append([]float64(nil), base...)
+			want := append([]float64(nil), base...)
+			Rank1UpdateUpper(got, n, xNew, 0, n)
+			for i := 0; i < n; i++ {
+				rank1UpdateRowGo(want[i*n:(i+1)*n:(i+1)*n], xNew, xNew[i], i, n)
+			}
+			if i := bitsEqual(got, want); i >= 0 {
+				t.Fatalf("n=%d fuzz=%d: update diverges at %d: %v vs %v", n, fuzz, i, got[i], want[i])
+			}
+
+			got = append(got[:0], base...)
+			want = append(want[:0], base...)
+			Rank1RollUpper(got, n, xNew, xOld, 0, n)
+			for i := 0; i < n; i++ {
+				rank1RollRowGo(want[i*n:(i+1)*n:(i+1)*n], xNew, xOld, xNew[i], xOld[i], i, n)
+			}
+			if i := bitsEqual(got, want); i >= 0 {
+				t.Fatalf("n=%d fuzz=%d: roll diverges at %d: %v vs %v", n, fuzz, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestOracleFinish(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for _, n := range []int{1, 2, 5, 7, 8, 9, 31, finishB, finishB + 5, 2*finishB + 2} {
+		for fuzz := 0; fuzz < 2; fuzz++ {
+			raw := make([]float64, n*n)
+			s := make([]float64, n)
+			if fuzz == 1 {
+				// Adversarial moments: overflowed cross products yield ±Inf
+				// and NaN after centering — the pinning ladder must agree.
+				fuzzFill(rng, raw)
+				for i := 0; i < n; i++ {
+					s[i] = rng.NormFloat64() * 10
+					raw[i*n+i] = math.Abs(rng.NormFloat64())*100 + 1 // usable diagonal
+				}
+			} else {
+				var g []float64
+				g, s = momentsFixture(rng, n, 24)
+				copy(raw, g)
+			}
+			mu := make([]float64, n)
+			inv := make([]float64, n)
+			zero := make([]int32, n)
+			PrepPearsonMoments(raw, n, s, 24, mu, inv, zero)
+
+			gotSim := append([]float64(nil), raw...)
+			gotDis := make([]float64, n*n)
+			FinishPearsonMoments(gotSim, gotDis, n, s, mu, inv, zero, 0, FinishTiles(n))
+
+			wantSim := append([]float64(nil), raw...)
+			wantDis := make([]float64, n*n)
+			finishTilesGo(wantSim, wantDis, n, s, mu, inv, zero)
+
+			if i := bitsEqual(gotSim, wantSim); i >= 0 {
+				t.Fatalf("n=%d fuzz=%d: finish sim diverges at %d: %v vs %v", n, fuzz, i, gotSim[i], wantSim[i])
+			}
+			if i := bitsEqual(gotDis, wantDis); i >= 0 {
+				t.Fatalf("n=%d fuzz=%d: finish dis diverges at %d: %v vs %v", n, fuzz, i, gotDis[i], wantDis[i])
+			}
+		}
+	}
+}
+
+// finishTilesGo runs the full finish pass forcing the scalar row body.
+func finishTilesGo(sim, dis []float64, n int, s, mu, inv []float64, zero []int32) {
+	for bi := 0; bi < FinishTiles(n); bi++ {
+		i0 := bi * finishB
+		i1 := min(i0+finishB, n)
+		for j0 := i0; j0 < n; j0 += finishB {
+			j1 := min(j0+finishB, n)
+			for i := i0; i < i1; i++ {
+				js := j0
+				if js <= i {
+					sim[i*n+i] = 1
+					if dis != nil {
+						dis[i*n+i] = 0
+					}
+					js = i + 1
+				}
+				if zero[i] != 0 {
+					for j := js; j < j1; j++ {
+						sim[i*n+j] = 0
+						sim[j*n+i] = 0
+						if dis != nil {
+							dis[i*n+j] = math.Sqrt2
+							dis[j*n+i] = math.Sqrt2
+						}
+					}
+					continue
+				}
+				finishRowGo(sim, dis, n, s[i], inv[i], mu, inv, zero, i, js, j1)
+			}
+		}
+	}
+}
+
+func TestOracleScans(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for _, l := range []int{0, 1, 3, 4, 7, 8, 15, 16, 17, 63, 64, 65, 200} {
+		for fuzz := 0; fuzz < 3; fuzz++ {
+			row := make([]float64, l)
+			switch fuzz {
+			case 0:
+				for i := range row {
+					row[i] = rng.NormFloat64()
+				}
+			case 1:
+				fuzzFill(rng, row)
+			case 2:
+				for i := range row { // heavy ties + Inf poisoning
+					if rng.Intn(4) == 0 {
+						row[i] = math.Inf(1)
+					} else {
+						row[i] = float64(rng.Intn(4))
+					}
+				}
+			}
+			wm, wi := naiveMinIdx(row)
+			gm, gi := MinIdx(row)
+			if math.Float64bits(gm) != math.Float64bits(wm) || gi != wi {
+				t.Fatalf("l=%d fuzz=%d: MinIdx (%v,%d) vs naive (%v,%d)", l, fuzz, gm, gi, wm, wi)
+			}
+
+			dst := make([]float64, l)
+			DissimRow(dst, row)
+			for j := range row {
+				v := 2 * (1 - row[j])
+				if v < 0 {
+					v = 0
+				}
+				want := math.Sqrt(v)
+				if math.Float64bits(dst[j]) != math.Float64bits(want) {
+					t.Fatalf("l=%d fuzz=%d j=%d: DissimRow %v vs naive %v (src=%v)", l, fuzz, j, dst[j], want, row[j])
+				}
+			}
+		}
+	}
+}

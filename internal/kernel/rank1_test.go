@@ -8,12 +8,15 @@ import (
 
 // TestRank1UpdateMatchesSyrk is the keystone of the streaming engine's
 // exactness guarantee: applying Rank1UpdateUpper once per sample, in sample
-// order, to a zeroed accumulator must reproduce SyrkUpperBand over the same
-// samples bit-for-bit — including across the syrkKC panel boundary.
+// order, to a zeroed current-panel accumulator — folding it into the running
+// band at every syrkKC boundary, exactly as the engine's fill phase does —
+// must reproduce SyrkUpperBand's ascending-panel fold over the same samples
+// bit-for-bit.
 func TestRank1UpdateMatchesSyrk(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for _, tc := range []struct{ n, l int }{
 		{1, 3}, {2, 5}, {7, 16}, {13, 64}, {9, syrkKC + 17}, // cross a T-panel
+		{5, 2*syrkKC + 3}, // two folds plus a partial panel
 	} {
 		n, l := tc.n, tc.l
 		z := make([]float64, n*l)
@@ -23,13 +26,30 @@ func TestRank1UpdateMatchesSyrk(t *testing.T) {
 		want := make([]float64, n*n)
 		SyrkUpperBand(z, n, l, want, 0, n)
 
-		got := make([]float64, n*n)
+		folded := make([]float64, n*n)
+		cur := make([]float64, n*n)
+		panels := 0
 		x := make([]float64, n)
 		for tt := 0; tt < l; tt++ {
 			for i := 0; i < n; i++ {
 				x[i] = z[i*l+tt]
 			}
-			Rank1UpdateUpper(got, n, x, 0, n)
+			Rank1UpdateUpper(cur, n, x, 0, n)
+			if (tt+1)%syrkKC == 0 {
+				if panels == 0 {
+					copy(folded, cur) // first panel: the chain itself, no 0+x add
+				} else {
+					AddUpper(folded, cur, n, 0, n)
+				}
+				panels++
+				clear(cur)
+			}
+		}
+		got := folded
+		if panels == 0 {
+			got = cur // everything within the first panel
+		} else if l%syrkKC != 0 {
+			AddUpper(got, cur, n, 0, n) // fold the partial panel
 		}
 		for i := 0; i < n; i++ {
 			for j := i; j < n; j++ {

@@ -7,24 +7,35 @@ import "math"
 // empty row). Four independent lanes strip-mine the row so the comparison
 // chains issue in parallel; the lane merge preserves the smallest-index tie
 // rule, so the result is identical to the naive ascending scan with a
-// strict-less update.
+// strict-less update. (The AVX2 backend runs the same four lanes as vector
+// columns and reuses the identical merge, so the tie rule is preserved
+// exactly; NaN entries never win a strict-less compare in either backend.)
 func MinIdx(row []float64) (float64, int) {
 	inf := math.Inf(1)
 	m0, m1, m2, m3 := inf, inf, inf, inf
 	i0, i1, i2, i3 := -1, -1, -1, -1
 	t := 0
-	for ; t+4 <= len(row); t += 4 {
-		if v := row[t]; v < m0 {
-			m0, i0 = v, t
-		}
-		if v := row[t+1]; v < m1 {
-			m1, i1 = v, t+1
-		}
-		if v := row[t+2]; v < m2 {
-			m2, i2 = v, t+2
-		}
-		if v := row[t+3]; v < m3 {
-			m3, i3 = v, t+3
+	if useAVX2 && len(row) >= 16 {
+		var lm [4]float64
+		var li [4]int64
+		t = len(row) &^ 3
+		minIdxSeg(&row[0], t, &lm, &li)
+		m0, m1, m2, m3 = lm[0], lm[1], lm[2], lm[3]
+		i0, i1, i2, i3 = int(li[0]), int(li[1]), int(li[2]), int(li[3])
+	} else {
+		for ; t+4 <= len(row); t += 4 {
+			if v := row[t]; v < m0 {
+				m0, i0 = v, t
+			}
+			if v := row[t+1]; v < m1 {
+				m1, i1 = v, t+1
+			}
+			if v := row[t+2]; v < m2 {
+				m2, i2 = v, t+2
+			}
+			if v := row[t+3]; v < m3 {
+				m3, i3 = v, t+3
+			}
 		}
 	}
 	// Merge lanes: a lane wins on strictly smaller value, or on equal value
@@ -55,6 +66,11 @@ func MinIdx(row []float64) (float64, int) {
 // attaining it, breaking ties toward the smaller id. Returns (-Inf, -1) for
 // an empty candidate list. This is the TMFG gain recomputation: d0, d1, d2
 // are the similarity-matrix rows of a face's three vertices.
+//
+// MaxGain3 stays scalar on every backend: the candidate ids are a sparse
+// gather, and AVX2 VGATHERQPD has worse throughput than four scalar loads on
+// every current microarchitecture, so a vector version measured slower than
+// this two-lane scalar form.
 func MaxGain3(d0, d1, d2 []float64, ids []int32) (float64, int32) {
 	ninf := math.Inf(-1)
 	g0, g1 := ninf, ninf
@@ -114,8 +130,14 @@ func MaxGather(row []float64, ids []int32) float64 {
 
 // DissimRow writes dst[j] = √(max(0, 2(1−src[j]))), the metric
 // dissimilarity transform, unrolled so the independent sqrt chains overlap.
+// Elementwise with correctly-rounded sqrt, so the vector backend is
+// bit-identical (NaN inputs propagate to NaN in both).
 func DissimRow(dst, src []float64) {
 	t := 0
+	if useAVX2 && len(src) >= 8 {
+		t = len(src) &^ 3
+		dissimSeg(&dst[0], &src[0], t)
+	}
 	for ; t+4 <= len(src); t += 4 {
 		v0 := 2 * (1 - src[t])
 		v1 := 2 * (1 - src[t+1])

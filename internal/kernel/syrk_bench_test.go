@@ -1,6 +1,7 @@
 package kernel
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -41,6 +42,33 @@ func BenchmarkSyrkPairwiseDotRef(b *testing.B) {
 				row[j] = dot4(zr, z[j*l:(j+1)*l])
 			}
 		}
+	}
+}
+
+// BenchmarkSyrkBackends sweeps the dispatched SYRK (AVX2 where the host and
+// build allow, scalar otherwise — see ISA()) against the always-compiled
+// scalar core at the pipeline's benchmark widths. Interleaved in one process
+// so the vector-vs-scalar ratio is insensitive to machine drift between
+// runs; the T sweep shows the ratio holding across panel counts (T=4096 is
+// 8 folded KC-panels).
+func BenchmarkSyrkBackends(b *testing.B) {
+	const n = 512
+	for _, l := range []int{256, 1024, 4096} {
+		z := randZ(n, l, 1)
+		c := make([]float64, n*n)
+		bytes := int64(n) * int64(n) / 2 * int64(l) * 8
+		b.Run(fmt.Sprintf("%s/n=%d/T=%d", ISA(), n, l), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				SyrkUpperBand(z, n, l, c, 0, n)
+			}
+		})
+		b.Run(fmt.Sprintf("scalar-ref/n=%d/T=%d", n, l), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				syrkUpperRangeGo(z, n, l, c, 0, n, 0, l, true)
+			}
+		})
 	}
 }
 

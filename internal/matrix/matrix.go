@@ -190,12 +190,9 @@ func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 		}
 	}
 	m := NewSymWS(w, n)
-	// Raw upper-triangle cross products via the blocked SYRK; bands of rows
-	// run in parallel, each band bit-deterministic on its own.
-	err = pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
-		kernel.SyrkUpperBand(xback, n, l, m.Data, lo, hi)
-	})
-	if err != nil {
+	// Raw upper-triangle cross products via the blocked SYRK, parallel over
+	// row bands or T-panels — either way bit-deterministic (SyrkUpperWS).
+	if err := SyrkUpperWS(ctx, pool, w, xback, n, l, l, m.Data); err != nil {
 		m.Release(w)
 		return nil, nil, err
 	}
@@ -211,6 +208,100 @@ func pearsonWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, series [][
 		return nil, nil, err
 	}
 	return m, d, nil
+}
+
+// syrkPanelBudget caps the workspace floats spent on private per-panel bands
+// by the T-panel-parallel SYRK strategy (64 MiB). Above it — i.e. for large
+// n, where row bands already expose ample parallelism — the row-band
+// strategy is used instead. The choice never affects output bits.
+const syrkPanelBudget = 1 << 23
+
+// SyrkUpperWS computes the full upper triangle of the n×n product
+// c = Z·Zᵀ, where Z is n rows of l samples laid out ld apart
+// (z[i*ld : i*ld+l]), parallelized on the pool. Two schedules are used:
+// bands of rows (each band sequential over all panels), or T-panels (each
+// worker computes one PanelLen-sample panel's partial band privately, then
+// the partial bands fold into c in ascending panel order). Because every
+// entry of the SYRK is defined as the ascending fold of per-panel ascending-t
+// chains (see kernel.PanelLen), both schedules — and any worker count —
+// produce bit-identical results; the choice is purely a performance
+// heuristic: panel parallelism wins when n is small relative to the worker
+// count but the window is long (many panels), the shape where row bands
+// starve.
+func SyrkUpperWS(ctx context.Context, pool *exec.Pool, w *ws.Workspace, z []float64, n, ld, l int, c []float64) error {
+	panels := (l + kernel.PanelLen - 1) / kernel.PanelLen
+	nb := panels - 1 // private bands needed beyond the direct-to-c panel 0
+	if mb := syrkPanelBudget / max(n*n, 1); nb > mb {
+		nb = mb
+	}
+	if wk := pool.Workers() - 1; nb > wk {
+		nb = wk
+	}
+	if nb <= 0 || n >= 1024 {
+		// RowBandGrain (not 8) so the vector backend's per-call panel
+		// packing amortizes over tall bands; with one worker ForBlocked
+		// runs bands of exactly the grain, so a small grain would repack
+		// every panel n/grain times.
+		return pool.ForBlocked(ctx, n, kernel.RowBandGrain, func(lo, hi int) {
+			kernel.SyrkUpperRange(z, n, ld, c, lo, hi, 0, l, true)
+		})
+	}
+	bufs := make([][]float64, nb)
+	for i := range bufs {
+		bufs[i] = w.Float64(n * n)
+	}
+	defer func() {
+		for _, b := range bufs {
+			w.PutFloat64(b)
+		}
+	}()
+	for base := 0; base < panels; {
+		// One wave: the first wave computes panel 0 straight into c plus up
+		// to nb later panels into private bands; subsequent waves fill all nb
+		// bands. Then the wave's bands fold into c in ascending panel order,
+		// row-band parallel (disjoint rows, fixed per-entry add order).
+		wave := min(nb, panels-base)
+		first := base == 0
+		if first {
+			wave = min(nb+1, panels)
+		}
+		err := pool.ForGrain(ctx, wave, 1, func(q int) {
+			p := base + q
+			k0 := p * kernel.PanelLen
+			k1 := min(k0+kernel.PanelLen, l)
+			dst := c
+			if !first || q > 0 {
+				dst = bufs[q-boolToInt(first)]
+			}
+			kernel.SyrkUpperRange(z, n, ld, dst, 0, n, k0, k1, true)
+		})
+		if err != nil {
+			return err
+		}
+		nfold := wave
+		if first {
+			nfold = wave - 1
+		}
+		if nfold > 0 {
+			err = pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
+				for q := 0; q < nfold; q++ {
+					kernel.AddUpper(c, bufs[q], n, lo, hi)
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+		base += wave
+	}
+	return nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // FinishMomentsWS converts raw moments into the final correlation matrix (and

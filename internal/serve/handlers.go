@@ -97,12 +97,18 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	prec, err := parsePrecision(req.Precision)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	cfg := SessionConfig{
 		Window:       req.Window,
 		Method:       method,
 		Prefix:       req.Prefix,
 		Workers:      req.Workers,
 		RebuildEvery: req.RebuildEvery,
+		Precision:    prec,
 	}
 	if req.Incremental != nil {
 		cfg.Incremental = pfg.IncrementalOptions{
@@ -187,12 +193,12 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 	sess.pushMu.Lock()
 	firstPush := sess.st.Series() == 0
 	if firstPush {
-		need := len(batch[0]) * sess.cfg.Window
+		need := sess.cfg.ringFloatsNeeded(len(batch[0]))
 		if need > maxRingFloats {
 			sess.pushMu.Unlock()
 			writeError(w, http.StatusBadRequest,
-				"window (%d) × series (%d) exceeds the per-session buffer cap of %d values",
-				sess.cfg.Window, len(batch[0]), maxRingFloats)
+				"window (%d) × series (%d) at %s exceeds the per-session buffer cap of %d float64-equivalents",
+				sess.cfg.Window, len(batch[0]), sess.cfg.Precision, maxRingFloats)
 			return
 		}
 		if !s.reg.reserveRing(sess, need) {

@@ -17,9 +17,25 @@ type SessionConfig struct {
 	Prefix       int
 	Workers      int
 	RebuildEvery int
+	// Precision is the moment-storage mode. Float32 sessions charge half
+	// the ring floats against the buffer budgets (see ringFloatsNeeded).
+	Precision pfg.Precision
 	// Incremental opts the session's streamer into the incremental serving
 	// layer (see pfg.IncrementalOptions).
 	Incremental pfg.IncrementalOptions
+}
+
+// ringFloatsNeeded is a session's window-ring charge against maxRingFloats
+// and maxTotalRingFloats, in float64-equivalents: float32 sessions store
+// half the bytes per value, so the same budget admits twice the
+// window×series — the bandwidth mode's capacity payoff under the server's
+// fixed memory ceilings.
+func (c SessionConfig) ringFloatsNeeded(series int) int {
+	floats := series * c.Window
+	if c.Precision == pfg.Float32 {
+		return (floats + 1) / 2
+	}
+	return floats
 }
 
 // Session is one named streaming feed: a pfg.Streamer plus the serving
@@ -58,6 +74,7 @@ func (s *Session) noteServed(r *pfg.Result) {
 
 // Info reports the session's current externally-visible state.
 func (s *Session) Info() SessionInfo {
+	ringBytes, bandBytes := s.st.MemoryBytes()
 	return SessionInfo{
 		ID:           s.ID,
 		Window:       s.cfg.Window,
@@ -65,8 +82,11 @@ func (s *Session) Info() SessionInfo {
 		Prefix:       s.cfg.Prefix,
 		Workers:      s.cfg.Workers,
 		RebuildEvery: s.cfg.RebuildEvery,
+		Precision:    s.cfg.Precision.String(),
 		Series:       s.st.Series(),
 		Len:          s.st.Len(),
+		RingBytes:    ringBytes,
+		BandBytes:    bandBytes,
 		Generation:   s.st.Generation(),
 		Exact:        s.st.Exact(),
 		Incremental:  s.cfg.Incremental.Enabled,
@@ -100,9 +120,11 @@ const (
 	maxWindow = 1 << 20
 	// maxWorkers caps a session's private worker-pool budget.
 	maxWorkers = 1024
-	// maxRingFloats caps window×series — the session's ring buffer — at
-	// 1 GiB of float64s. The series count is only known at the first push,
-	// so this one is enforced there (see handlePush).
+	// maxRingFloats caps the session's ring buffer at 1 GiB, counted in
+	// float64-equivalents of window×series (a float32 session charges half
+	// its window×series, so the same cap admits twice the shape — see
+	// SessionConfig.ringFloatsNeeded). The series count is only known at the
+	// first push, so this one is enforced there (see handlePush).
 	maxRingFloats = 1 << 27
 	// maxSessions caps the registry: without an aggregate bound the
 	// per-session ceilings above are toothless (a loop of cheap creates
@@ -174,6 +196,7 @@ func (r *Registry) Create(id string, cfg SessionConfig) (*Session, error) {
 	st, err := pfg.NewStreamer(cfg.Window, pfg.StreamOptions{
 		Cluster:      pfg.Options{Method: cfg.Method, Prefix: cfg.Prefix, Workers: cfg.Workers},
 		RebuildEvery: cfg.RebuildEvery,
+		Precision:    cfg.Precision,
 		Incremental:  cfg.Incremental,
 	})
 	if err != nil {

@@ -1,6 +1,10 @@
 package serve
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"pfg"
+)
 
 // Stats is the server's monotonic counter set, updated with atomics on the
 // request paths and reported by GET /statsz. Latency totals pair with their
@@ -26,6 +30,11 @@ type Stats struct {
 // StatsSnapshot is the wire form of GET /statsz: the counter values at one
 // instant plus derived means and the per-session states.
 type StatsSnapshot struct {
+	// KernelISA is the compute-kernel backend this process selected at init
+	// ("avx2" or "scalar") — operational metadata, not a correctness signal:
+	// both backends are bit-identical in float64.
+	KernelISA string `json:"kernel_isa"`
+
 	Sessions        int    `json:"sessions"`
 	SessionsCreated uint64 `json:"sessions_created"`
 	SessionsDeleted uint64 `json:"sessions_deleted"`
@@ -61,6 +70,7 @@ type StatsSnapshot struct {
 // snapshot, which is fine for monitoring) and derives the means.
 func (st *Stats) view() StatsSnapshot {
 	v := StatsSnapshot{
+		KernelISA:         pfg.KernelISA(),
 		SessionsCreated:   st.SessionsCreated.Load(),
 		SessionsDeleted:   st.SessionsDeleted.Load(),
 		TicksPushed:       st.TicksPushed.Load(),

@@ -27,6 +27,12 @@ type CreateSessionRequest struct {
 	// RebuildEvery is the drift-rebuild period K in window slides
 	// (0 = default, negative disables periodic rebuilds).
 	RebuildEvery int `json:"rebuild_every,omitempty"`
+	// Precision selects the session's moment-storage mode: "float64" (the
+	// default — full bit-determinism against batch recomputation) or
+	// "float32" (half the per-tick memory bandwidth and half the ring bytes
+	// charged against the server's buffer budgets, at a bounded correlation
+	// error — see pfg.Float32CorrBound).
+	Precision string `json:"precision,omitempty"`
 	// Incremental, when present, opts the session into the incremental
 	// serving layer: snapshots reuse the last exact clustering while the
 	// window's correlation drift stays inside the configured bound, falling
@@ -63,6 +69,8 @@ type SessionInfo struct {
 	Prefix       int    `json:"prefix"`
 	Workers      int    `json:"workers"`
 	RebuildEvery int    `json:"rebuild_every"`
+	// Precision is the session's moment-storage mode ("float64"/"float32").
+	Precision string `json:"precision"`
 	// Series is the number of series, fixed by the first admitted push
 	// (0 before that).
 	Series int `json:"series"`
@@ -77,6 +85,12 @@ type SessionInfo struct {
 	// Incremental reports whether the session runs the incremental serving
 	// layer.
 	Incremental bool `json:"incremental,omitempty"`
+	// RingBytes and BandBytes are the resident bytes of the session's window
+	// ring and moment band (0 until the first admitted push fixes the series
+	// count). A float32 session's figures are half a float64 session's for
+	// the same window×series shape.
+	RingBytes int `json:"ring_bytes"`
+	BandBytes int `json:"band_bytes"`
 	// StaleTicks and Drift describe the last snapshot this session served:
 	// how many ticks older than the window its clustering is, and the
 	// entrywise correlation drift accumulated since it was built. Both are
@@ -129,6 +143,19 @@ type HealthResponse struct {
 	Status   string  `json:"status"`
 	UptimeS  float64 `json:"uptime_s"`
 	Sessions int     `json:"sessions"`
+}
+
+// parsePrecision maps the wire precision names to pfg.Precision; the empty
+// string selects float64.
+func parsePrecision(s string) (pfg.Precision, error) {
+	switch s {
+	case "", "float64", "f64":
+		return pfg.Float64, nil
+	case "float32", "f32":
+		return pfg.Float32, nil
+	default:
+		return 0, fmt.Errorf("unknown precision %q (want \"float64\" or \"float32\")", s)
+	}
 }
 
 // parseMethod maps the wire method names (and the pfg-cluster CLI

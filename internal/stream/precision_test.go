@@ -1,0 +1,307 @@
+package stream
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pfg/internal/exec"
+	"pfg/internal/kernel"
+	"pfg/internal/matrix"
+	"pfg/internal/ws"
+)
+
+// TestEngineLargeWindowFillBitIdentical exercises the fill-phase panel split
+// (gCur) that only engages for windows longer than one T-panel: across the
+// whole fill of a multi-panel window — including both panel boundaries and
+// the final partial panel — every snapshot must stay bit-identical to the
+// batch pipeline, and rebuilds mid-fill must reconstruct the split state
+// exactly.
+func TestEngineLargeWindowFillBitIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-panel fill is slow in -short mode")
+	}
+	const n = 5
+	window := 2*kernel.PanelLen + 37
+	e, err := New(n, window, 0, Float64, ws.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.New(3)
+	defer pool.Close()
+	ctx := context.Background()
+	// Check snapshots at the interesting counts only (full checks are
+	// O(n²·T) each): around each panel boundary, mid-panel, and fill end.
+	checks := map[int]bool{
+		2: true, 3: true,
+		kernel.PanelLen - 1: true, kernel.PanelLen: true, kernel.PanelLen + 1: true,
+		kernel.PanelLen + kernel.PanelLen/2: true,
+		2*kernel.PanelLen - 1:               true, 2 * kernel.PanelLen: true, 2*kernel.PanelLen + 1: true,
+		window - 1: true, window: true,
+	}
+	rebuilds := map[int]bool{ // forced rebuilds mid-fill must be no-ops bit-wise
+		kernel.PanelLen / 2: true, kernel.PanelLen: true, 2*kernel.PanelLen + 9: true,
+	}
+	for k, x := range ticks(21, n, window) {
+		if err := e.Push(ctx, pool, x); err != nil {
+			t.Fatal(err)
+		}
+		c := k + 1
+		if rebuilds[c] {
+			before := make([]float64, n*n)
+			bs := make([]float64, n)
+			if _, err := e.CopyState(before, bs); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Rebuild(ctx, pool); err != nil {
+				t.Fatal(err)
+			}
+			after := make([]float64, n*n)
+			as := make([]float64, n)
+			if _, err := e.CopyState(after, as); err != nil {
+				t.Fatal(err)
+			}
+			if i := bitsEqual(after, before); i >= 0 {
+				t.Fatalf("count %d: mid-fill rebuild changed band bit %d: %v vs %v", c, i, after[i], before[i])
+			}
+			if i := bitsEqual(as, bs); i >= 0 {
+				t.Fatalf("count %d: mid-fill rebuild changed sums at %d", c, i)
+			}
+		}
+		if !checks[c] {
+			continue
+		}
+		if !e.Exact() {
+			t.Fatalf("count %d: engine not exact during fill", c)
+		}
+		sim, dis := snapshot(t, e)
+		wantSim, wantDis := batchWindow(t, e)
+		if i := bitsEqual(sim.Data, wantSim.Data); i >= 0 {
+			t.Fatalf("count %d: sim[%d] = %v, batch %v", c, i, sim.Data[i], wantSim.Data[i])
+		}
+		if i := bitsEqual(dis.Data, wantDis.Data); i >= 0 {
+			t.Fatalf("count %d: dis[%d] differs", c, i)
+		}
+	}
+	if e.BandBytes() != n*n*8 {
+		t.Fatalf("BandBytes after fill = %d, want %d (gCur not released?)", e.BandBytes(), n*n*8)
+	}
+
+	// One slide past fill, then a rebuild: the steady-state path over a
+	// multi-panel window must restore batch bit-identity too.
+	if err := e.Push(ctx, pool, ticks(22, n, 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Rebuild(ctx, pool); err != nil {
+		t.Fatal(err)
+	}
+	sim, _ := snapshot(t, e)
+	wantSim, _ := batchWindow(t, e)
+	if i := bitsEqual(sim.Data, wantSim.Data); i >= 0 {
+		t.Fatalf("post-slide rebuild: sim[%d] differs", i)
+	}
+}
+
+// corr32 runs a float32 engine over the given tick stream and returns the
+// finished correlation matrix plus the engine (still live, caller releases).
+func corr32(t *testing.T, window, rebuildEvery int, stream [][]float64) (*matrix.Sym, *Engine) {
+	t.Helper()
+	n := len(stream[0])
+	e, err := New(n, window, rebuildEvery, Float32, ws.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := exec.New(2)
+	defer pool.Close()
+	ctx := context.Background()
+	for _, x := range stream {
+		if err := e.Push(ctx, pool, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim := matrix.NewSym(n)
+	dis := matrix.NewSym(n)
+	sums := make([]float64, n)
+	cnt, err := e.CopyState(sim.Data, sums)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := matrix.FinishMomentsWS(ctx, pool, nil, sim, dis, sums, cnt); err != nil {
+		t.Fatal(err)
+	}
+	return sim, e
+}
+
+// TestFloat32PrecisionBound drives the float32 engine over the same streams
+// as a float64 reference — a golden-style multi-regime corpus and a long
+// rng(42) run crossing many rebuild boundaries — and requires (a) every
+// correlation within Float32CorrBound of the float64 pipeline, and (b) no
+// NaN/Inf ever appearing, in particular across rebuild boundaries where the
+// band is re-accumulated from the rounded ring.
+func TestFloat32PrecisionBound(t *testing.T) {
+	const n, window = 9, 64
+	cases := map[string][][]float64{
+		"golden": func() [][]float64 {
+			// Mixed regimes: correlated pairs, anticorrelated, offsets.
+			rng := rand.New(rand.NewSource(7))
+			out := make([][]float64, window+90)
+			for k := range out {
+				x := make([]float64, n)
+				base := rng.NormFloat64()
+				for i := range x {
+					switch i % 3 {
+					case 0:
+						x[i] = base + 0.1*rng.NormFloat64()
+					case 1:
+						x[i] = -base + 0.1*rng.NormFloat64() + 2.5
+					default:
+						x[i] = rng.NormFloat64() * 3
+					}
+				}
+				out[k] = x
+			}
+			return out
+		}(),
+		"rng42-long": ticks(42, n, window+700), // many rebuild cycles at K=16
+	}
+	for name, stream := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, e := corr32(t, window, 16, stream)
+			defer e.Release()
+
+			// Float64 reference over the identical stream.
+			ref, err := New(n, window, 16, Float64, ws.New())
+			if err != nil {
+				t.Fatal(err)
+			}
+			pool := exec.New(1)
+			defer pool.Close()
+			for _, x := range stream {
+				if err := ref.Push(context.Background(), pool, x); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, _ := snapshot(t, ref)
+
+			worst := 0.0
+			for i := range got.Data {
+				g := got.Data[i]
+				if math.IsNaN(g) || math.IsInf(g, 0) {
+					t.Fatalf("float32 corr[%d] is non-finite: %v", i, g)
+				}
+				if d := math.Abs(g - want.Data[i]); d > worst {
+					worst = d
+				}
+			}
+			t.Logf("max |corr32-corr64| = %.3g (bound %g)", worst, Float32CorrBound)
+			if worst > Float32CorrBound {
+				t.Fatalf("max |corr32-corr64| = %v exceeds Float32CorrBound %v", worst, Float32CorrBound)
+			}
+		})
+	}
+}
+
+// TestFloat32InModeExactness pins the within-mode contract: fill-phase and
+// post-rebuild float32 states are bit-identical to an in-mode recomputation
+// (SyrkUpperBandF32 over the rounded ring), results are worker-count
+// independent, and the storage accounting halves the float64 figures.
+func TestFloat32InModeExactness(t *testing.T) {
+	const n, window = 11, 24
+	stream := ticks(33, n, window+40)
+
+	run := func(workers int) ([]float64, *Engine) {
+		e, err := New(n, window, 8, Float32, ws.New())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pool := exec.New(workers)
+		defer pool.Close()
+		for _, x := range stream {
+			if err := e.Push(context.Background(), pool, x); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := e.Rebuild(context.Background(), pool); err != nil {
+			t.Fatal(err)
+		}
+		g := make([]float64, n*n)
+		s := make([]float64, n)
+		if _, err := e.CopyState(g, s); err != nil {
+			t.Fatal(err)
+		}
+		return append(g, s...), e
+	}
+	want, e1 := run(1)
+	if e1.Precision() != Float32 || e1.Precision().String() != "float32" {
+		t.Fatalf("Precision() = %v", e1.Precision())
+	}
+	if e1.RingBytes() != window*n*4 || e1.BandBytes() != n*n*4 {
+		t.Fatalf("float32 accounting: ring %d band %d, want %d and %d",
+			e1.RingBytes(), e1.BandBytes(), window*n*4, n*n*4)
+	}
+	e1.Release()
+	for _, workers := range []int{2, 6} {
+		got, e := run(workers)
+		e.Release()
+		if i := bitsEqual(got, want); i >= 0 {
+			t.Fatalf("workers=%d: float32 state differs at %d", workers, i)
+		}
+	}
+
+	// In-mode rebuild reference: the post-rebuild band must equal
+	// SyrkUpperBandF32 over the linearized rounded ring bit-for-bit.
+	e, err := New(n, window, 0, Float32, ws.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release()
+	pool := exec.New(1)
+	defer pool.Close()
+	for _, x := range stream[:window] { // fill only: no roll drift at all
+		if err := e.Push(context.Background(), pool, x); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := make([]float64, n*n)
+	s := make([]float64, n)
+	if _, err := e.CopyState(g, s); err != nil {
+		t.Fatal(err)
+	}
+	z := e.linearize32()
+	defer e.Workspace().PutFloat32(z)
+	ref32 := make([]float32, n*n)
+	kernel.SyrkUpperBandF32(z, n, window, ref32, 0, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			if math.Float32bits(float32(g[i*n+j])) != math.Float32bits(ref32[i*n+j]) {
+				t.Fatalf("fill-phase f32 band (%d,%d) = %v, in-mode recompute %v", i, j, g[i*n+j], ref32[i*n+j])
+			}
+		}
+	}
+}
+
+// TestFloat32MagnitudeBound: the float32 admission bound scales to float32
+// range — values far below the float64 bound but above √(MaxFloat32/window)
+// are rejected, keeping the band finite by construction.
+func TestFloat32MagnitudeBound(t *testing.T) {
+	const n, window = 3, 16
+	e, err := New(n, window, 0, Float32, ws.New())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Release()
+	pool := exec.New(1)
+	defer pool.Close()
+	ctx := context.Background()
+	limit := math.Sqrt(math.MaxFloat32 / float64(window))
+	if err := e.Push(ctx, pool, []float64{1, 2 * limit, 2}); err == nil {
+		t.Fatal("float32 band-overflowing magnitude accepted")
+	}
+	if e.Len() != 0 {
+		t.Fatal("rejected push mutated the window")
+	}
+	if err := e.Push(ctx, pool, []float64{1, limit * 0.5, 2}); err != nil {
+		t.Fatalf("in-bound magnitude rejected: %v", err)
+	}
+}

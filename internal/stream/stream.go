@@ -11,16 +11,31 @@
 // O(n²) work. Snapshots copy the band and hand it to the same
 // matrix.FinishMomentsWS arithmetic the batch path uses.
 //
-// Exactness. While the window is filling, every update appends one term to
-// the same ascending-t fold SyrkUpperBand computes, so the engine's moments
-// are bit-identical to a batch recomputation over the pushed samples — not
-// merely close. Once the window slides, downdates introduce float drift
-// (subtracting a term is not the exact inverse of having added it), so the
-// engine rebuilds the moments exactly — linearizing the ring in time order
-// and re-running kernel.SyrkUpperBand — every rebuildEvery slides, bounding
-// drift to what at most rebuildEvery roll steps can accumulate. Immediately
-// after any rebuild (periodic or forced), snapshots are again bit-identical
-// to batch. Exact reports which regime the engine is in.
+// Exactness. While the window is filling, the engine maintains the same
+// ascending-panel fold SyrkUpperBand computes: rank-1 updates accumulate
+// into a current-panel band, which folds into the running band at every
+// kernel.PanelLen boundary — so the moments are bit-identical to a batch
+// recomputation over the pushed samples — not merely close. Once the window
+// slides, downdates introduce float drift (subtracting a term is not the
+// exact inverse of having added it), so the engine rebuilds the moments
+// exactly — linearizing the ring in time order and re-running the panel-
+// parallel SYRK — every rebuildEvery slides, bounding drift to what at most
+// rebuildEvery roll steps can accumulate. Immediately after any rebuild
+// (periodic or forced), snapshots are again bit-identical to batch. Exact
+// reports which regime the engine is in.
+//
+// Precision. An engine runs in one of two storage modes fixed at creation
+// (see Precision). Float64 is the default and carries the full bit-
+// determinism contract above. Float32 stores the ring and the moment band in
+// float32 — halving the memory bandwidth of the O(n²) per-tick roll and
+// halving the ring bytes charged against serving resource budgets — while
+// keeping the rolling sums and all finish-pass arithmetic in float64.
+// Float32 mode has no bit contract against the float64 batch pipeline; its
+// guarantees are (a) the documented correlation error bound
+// Float32CorrBound, (b) within-mode exactness (fill-phase and post-rebuild
+// states bit-match an in-mode recomputation, and all results remain
+// bit-independent of worker count), and (c) the same overflow-free-by-
+// construction admission bound, scaled to float32 range.
 //
 // Concurrency. An Engine is NOT internally synchronized: callers serialize
 // Push/Rebuild (writers) against CopyState (reader) themselves. pfg.Streamer
@@ -35,19 +50,69 @@ import (
 
 	"pfg/internal/exec"
 	"pfg/internal/kernel"
+	"pfg/internal/matrix"
 	"pfg/internal/ws"
 )
 
+// Precision selects the storage mode of an Engine's series ring and moment
+// band.
+type Precision uint8
+
+const (
+	// Float64 stores ring and band in float64: full bandwidth, full
+	// bit-determinism against the batch pipeline. The default.
+	Float64 Precision = iota
+	// Float32 stores ring and band in float32: half the per-tick memory
+	// traffic and half the ring budget, at the cost of correlation error up
+	// to Float32CorrBound and no cross-mode bit contract. Choose it when n
+	// is large enough that the roll is bandwidth-bound and ~1e-5 correlation
+	// error is immaterial to the downstream clustering — typically when
+	// serving many sessions under a shared memory ceiling.
+	Float32
+)
+
+// String returns "float64" or "float32" — the wire spelling used by the
+// serving layer's session configuration and /statsz reporting.
+func (p Precision) String() string {
+	if p == Float32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// BytesPerFloat is the storage cost of one ring or band value in this mode.
+func (p Precision) BytesPerFloat() int {
+	if p == Float32 {
+		return 4
+	}
+	return 8
+}
+
+// Float32CorrBound is the documented bound on |corr₃₂ − corr₆₄| for float32
+// mode on well-conditioned data (|mean|/std ≲ 10, window ≤ 8192): float32
+// cross-product accumulation carries ~2⁻²⁴ relative error per fold step and
+// the moment centering amplifies it by the conditioning factor, landing
+// measured worst cases near 2e-5 on the golden corpus and long random
+// streams (see TestFloat32PrecisionBound). Ill-conditioned series
+// (|mean|/std ≫ 10²) lose proportionally more — use Float64 there.
+const Float32CorrBound = 5e-4
+
 // maxSampleMagnitude bounds admitted sample values so the moment band can
-// never overflow: with |x| ≤ √(MaxFloat64/window), every cross product is
-// ≤ MaxFloat64/window and a window's worth of them sums below MaxFloat64.
-// Without the bound, one finite-but-huge sample would push g to +Inf, and
-// its eventual downdate would turn the band into NaNs (Inf−Inf) that no
-// roll can ever wash out — poisoning snapshots until the next exact rebuild
-// (or forever, with periodic rebuilds disabled). Rejecting at the door
-// keeps the band finite by construction. The bound is astronomically above
-// any real signal (~2.1e152 for a 4096-tick window).
-func maxSampleMagnitude(window int) float64 {
+// never overflow: with |x| ≤ √(MaxFloat/window), every cross product is
+// ≤ MaxFloat/window and a window's worth of them sums below the format's
+// MaxFloat. Without the bound, one finite-but-huge sample would push g to
+// +Inf, and its eventual downdate would turn the band into NaNs (Inf−Inf)
+// that no roll can ever wash out — poisoning snapshots until the next exact
+// rebuild (or forever, with periodic rebuilds disabled). Rejecting at the
+// door keeps the band finite by construction. The float64 bound is
+// astronomically above any real signal (~2.1e152 for a 4096-tick window);
+// the float32 bound (~2.8e17 for the same window, shaved slightly below the
+// exact threshold to absorb the float64→float32 conversion rounding of an
+// admitted sample) still is.
+func maxSampleMagnitude(window int, prec Precision) float64 {
+	if prec == Float32 {
+		return math.Sqrt(math.MaxFloat32/float64(window)) * 0.999999
+	}
 	return math.Sqrt(math.MaxFloat64 / float64(window))
 }
 
@@ -55,7 +120,8 @@ func maxSampleMagnitude(window int) float64 {
 // moment rebuilds. At the default, the amortized rebuild cost per tick is
 // n²·T/DefaultRebuildEvery — under 2% of a tick's O(n²) roll work for
 // windows up to ~5000 samples — while worst-case drift stays bounded by 256
-// rank-1 roll roundings (empirically ~1e-12 relative for unit-scale data).
+// rank-1 roll roundings (empirically ~1e-12 relative for unit-scale float64
+// data, ~1e-4 for float32).
 const DefaultRebuildEvery = 256
 
 // rollGrain is the ForBlocked row grain of the per-tick rank-1 kernels.
@@ -65,6 +131,7 @@ const rollGrain = 16
 type Engine struct {
 	n, window    int
 	rebuildEvery int // ≤ 0 disables periodic rebuilds
+	prec         Precision
 
 	count   int    // samples currently in the window (≤ window)
 	head    int    // ring slot the next sample will occupy
@@ -73,37 +140,69 @@ type Engine struct {
 	dirty   bool   // true once a slide has happened without a rebuild after it
 	corrupt bool   // a cancelled kernel left g half-applied; ring is still good
 
+	// Float64 storage (prec == Float64).
 	ring []float64 // window×n, sample-major: ring[slot*n+i]
-	g    []float64 // n×n cross-product band, upper triangle maintained
-	s    []float64 // n rolling sums
+	g    []float64 // n×n cross-product band: the folded full panels
+	// gCur is the fill phase's current-panel band for windows longer than
+	// one T-panel: rank-1 updates chain into it, and at every
+	// kernel.PanelLen samples it folds into g — reproducing the batch SYRK's
+	// ascending-panel fold bit-for-bit (the add order of the fold is the
+	// same one rounded add per entry). Released once the window fills; nil
+	// for windows within a single panel, where g carries the chain directly.
+	gCur []float64
+
+	// Float32 storage (prec == Float32). The fill chain needs no panel
+	// split: float32 mode rebuilds with the single-chain SyrkUpperBandF32,
+	// which a sample-ordered sequence of rank-1 updates matches directly.
+	ring32 []float32
+	g32    []float32
+	x32    []float32 // conversion scratch for the incoming sample
+
+	s []float64 // n rolling sums — float64 in both modes
 
 	maxMag float64 // sample magnitude bound keeping the band finite
 	w      *ws.Workspace
 }
 
-// New creates an engine for n series over the given window, drawing its
-// long-lived state from w (which the caller must keep alive alongside the
-// engine). rebuildEvery ≤ 0 disables periodic rebuilds (drift then grows
-// unboundedly until Rebuild is called explicitly).
-func New(n, window, rebuildEvery int, w *ws.Workspace) (*Engine, error) {
+// New creates an engine for n series over the given window in the given
+// precision mode, drawing its long-lived state from w (which the caller must
+// keep alive alongside the engine). rebuildEvery ≤ 0 disables periodic
+// rebuilds (drift then grows unboundedly until Rebuild is called
+// explicitly).
+func New(n, window, rebuildEvery int, prec Precision, w *ws.Workspace) (*Engine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("stream: need at least 1 series, have %d", n)
 	}
 	if window < 2 {
 		return nil, fmt.Errorf("stream: window %d < 2", window)
 	}
+	if prec != Float64 && prec != Float32 {
+		return nil, fmt.Errorf("stream: unknown precision %d", prec)
+	}
 	e := &Engine{
 		n:            n,
 		window:       window,
 		rebuildEvery: rebuildEvery,
-		ring:         w.Float64(window * n),
-		g:            w.Float64(n * n),
+		prec:         prec,
 		s:            w.Float64(n),
-		maxMag:       maxSampleMagnitude(window),
+		maxMag:       maxSampleMagnitude(window, prec),
 		w:            w,
 	}
-	clear(e.g)
 	clear(e.s)
+	if prec == Float32 {
+		e.ring32 = w.Float32(window * n)
+		e.g32 = w.Float32(n * n)
+		e.x32 = w.Float32(n)
+		clear(e.g32)
+		return e, nil
+	}
+	e.ring = w.Float64(window * n)
+	e.g = w.Float64(n * n)
+	clear(e.g)
+	if window > kernel.PanelLen {
+		e.gCur = w.Float64(n * n)
+		clear(e.gCur)
+	}
 	return e, nil
 }
 
@@ -116,9 +215,36 @@ func (e *Engine) Window() int { return e.window }
 // Len returns the number of samples currently in the window.
 func (e *Engine) Len() int { return e.count }
 
+// Precision returns the engine's storage mode.
+func (e *Engine) Precision() Precision { return e.prec }
+
+// BandBytes reports the resident bytes of the engine's moment-band storage
+// (including the fill-phase current-panel band while it is allocated) — the
+// figure the serving layer's /statsz reports per session.
+func (e *Engine) BandBytes() int {
+	b := 0
+	switch e.prec {
+	case Float32:
+		b = len(e.g32) * 4
+	default:
+		b = (len(e.g) + len(e.gCur)) * 8
+	}
+	return b
+}
+
+// RingBytes reports the resident bytes of the series ring.
+func (e *Engine) RingBytes() int {
+	if e.prec == Float32 {
+		return len(e.ring32) * 4
+	}
+	return len(e.ring) * 8
+}
+
 // Exact reports whether the moments are currently bit-identical to a batch
 // recomputation over the window (true while filling and right after a
-// rebuild; false once a slide has drifted them).
+// rebuild; false once a slide has drifted them). In float32 mode the
+// recomputation reference is the in-mode one (float32 ring through
+// SyrkUpperBandF32), not the float64 batch pipeline.
 func (e *Engine) Exact() bool { return !e.dirty && !e.corrupt }
 
 // SlidesSinceRebuild returns the number of roll steps since the last exact
@@ -138,9 +264,11 @@ func (e *Engine) Generation() uint64 { return e.gen }
 // updating the moments in O(n²). The sample is validated before any state
 // changes — non-finite values and magnitudes large enough to overflow the
 // moment band (see maxSampleMagnitude) are rejected — and a non-nil error
-// means the sample was NOT admitted: the window content is exactly what it
-// was before the call. The pool drives the rank-1 band kernels; their
-// output is bit-independent of the worker count.
+// means the sample was NOT admitted: the buffered window is exactly what it
+// was before the call (a cancellation mid-kernel can leave the band awaiting
+// resynchronization, which the next Push or Rebuild repairs from the ring).
+// The pool drives the rank-1 band kernels; their output is bit-independent
+// of the worker count.
 func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 	if len(x) != e.n {
 		return fmt.Errorf("stream: sample has %d values, want %d", len(x), e.n)
@@ -150,7 +278,7 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 			return fmt.Errorf("stream: sample value %d is non-finite", i)
 		}
 		if v > e.maxMag || v < -e.maxMag {
-			return fmt.Errorf("stream: sample value %d (%g) exceeds the magnitude bound %g for window %d", i, v, e.maxMag, e.window)
+			return fmt.Errorf("stream: sample value %d (%g) exceeds the magnitude bound %g for window %d (%s)", i, v, e.maxMag, e.window, e.prec)
 		}
 	}
 	if e.corrupt {
@@ -161,6 +289,9 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		if err := e.Rebuild(ctx, pool); err != nil {
 			return err
 		}
+	}
+	if e.prec == Float32 {
+		return e.push32(ctx, pool, x)
 	}
 	slot := e.ring[e.head*e.n : e.head*e.n+e.n]
 	if e.count == e.window {
@@ -176,53 +307,163 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 			e.s[i] += v - slot[i]
 		}
 		copy(slot, x)
-		e.head++
-		if e.head == e.window {
-			e.head = 0
-		}
+		e.advanceHead()
 		e.dirty = true
 		e.slides++
 		e.gen++
-		if e.rebuildEvery > 0 && e.slides >= e.rebuildEvery {
-			// Deferred maintenance, not part of admitting the sample (which
-			// has already happened): if cancellation aborts it, the corrupt
-			// flag is set and the next Push retries the rebuild, so the
-			// error is not surfaced as a Push failure — a non-nil Push error
-			// always means "not admitted", and this sample was.
-			_ = e.Rebuild(ctx, pool)
-		}
+		e.maybeRebuild(ctx, pool)
 		return nil
 	}
-	// Filling: a pure rank-1 update appends one ascending-t term to every
-	// moment fold, keeping the state bit-identical to a batch recompute.
+	// Filling: a pure rank-1 update appends one ascending-t term to the
+	// current panel's moment chain, keeping the state bit-identical to a
+	// batch recompute (after panel folds, below).
+	dst := e.g
+	if e.gCur != nil {
+		dst = e.gCur
+	}
 	if err := pool.ForBlocked(ctx, e.n, rollGrain, func(lo, hi int) {
-		kernel.Rank1UpdateUpper(e.g, e.n, x, lo, hi)
+		kernel.Rank1UpdateUpper(dst, e.n, x, lo, hi)
 	}); err != nil {
 		e.corrupt = true
 		return err
+	}
+	if e.gCur != nil {
+		// Panel bookkeeping, in batch-fold order: fold a completed panel
+		// first, then (on a partial final panel) materialize the fill's end
+		// state. A cancellation here leaves the band awaiting
+		// resynchronization but the ring without the sample — the rebuild
+		// the next Push runs reconstructs exactly the pre-call window, so
+		// the "not admitted" contract holds.
+		c1 := e.count + 1
+		if c1%kernel.PanelLen == 0 {
+			if err := e.foldCurrent(ctx, pool, c1 == kernel.PanelLen); err != nil {
+				e.corrupt = true
+				return err
+			}
+		}
+		if c1 == e.window {
+			if c1%kernel.PanelLen != 0 {
+				// Final partial panel: fold it to finish the batch chain.
+				// c1 > PanelLen here, so g already holds folded panels.
+				if err := e.foldCurrent(ctx, pool, false); err != nil {
+					e.corrupt = true
+					return err
+				}
+			}
+			// The fill is complete; the current-panel band is done for good.
+			e.w.PutFloat64(e.gCur)
+			e.gCur = nil
+		}
 	}
 	for i, v := range x {
 		e.s[i] += v
 	}
 	copy(slot, x)
-	e.head++
-	if e.head == e.window {
-		e.head = 0
-	}
+	e.advanceHead()
 	e.count++
 	e.gen++
 	return nil
 }
 
+// push32 is the float32-mode body of Push: identical structure, float32
+// storage arithmetic, float64 sums. The incoming float64 sample is rounded
+// once to float32 (e.x32) and that rounded value is what the ring, the band
+// chain, and the sums all consume, so a rebuild from the ring reproduces the
+// incremental state bit-for-bit.
+func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error {
+	for i, v := range x {
+		e.x32[i] = float32(v)
+	}
+	slot := e.ring32[e.head*e.n : e.head*e.n+e.n]
+	if e.count == e.window {
+		if err := pool.ForBlocked(ctx, e.n, rollGrain, func(lo, hi int) {
+			kernel.Rank1RollUpperF32(e.g32, e.n, e.x32, slot, lo, hi)
+		}); err != nil {
+			e.corrupt = true
+			return err
+		}
+		for i, v := range e.x32 {
+			e.s[i] += float64(v) - float64(slot[i])
+		}
+		copy(slot, e.x32)
+		e.advanceHead()
+		e.dirty = true
+		e.slides++
+		e.gen++
+		e.maybeRebuild(ctx, pool)
+		return nil
+	}
+	if err := pool.ForBlocked(ctx, e.n, rollGrain, func(lo, hi int) {
+		kernel.Rank1UpdateUpperF32(e.g32, e.n, e.x32, lo, hi)
+	}); err != nil {
+		e.corrupt = true
+		return err
+	}
+	for i, v := range e.x32 {
+		e.s[i] += float64(v)
+	}
+	copy(slot, e.x32)
+	e.advanceHead()
+	e.count++
+	e.gen++
+	return nil
+}
+
+func (e *Engine) advanceHead() {
+	e.head++
+	if e.head == e.window {
+		e.head = 0
+	}
+}
+
+func (e *Engine) maybeRebuild(ctx context.Context, pool *exec.Pool) {
+	if e.rebuildEvery > 0 && e.slides >= e.rebuildEvery {
+		// Deferred maintenance, not part of admitting the sample (which has
+		// already happened): if cancellation aborts it, the corrupt flag is
+		// set and the next Push retries the rebuild, so the error is not
+		// surfaced as a Push failure — a non-nil Push error always means
+		// "not admitted", and this sample was.
+		_ = e.Rebuild(ctx, pool)
+	}
+}
+
+// foldCurrent folds the completed current-panel band into g — the one
+// rounded add per entry the batch SYRK performs at a panel boundary — and
+// rezeroes it for the next panel's chain. The very first fold is a copy, not
+// an add: the batch fold's first panel IS the chain (folding 0 + chain would
+// flush the sign of negative zeros).
+func (e *Engine) foldCurrent(ctx context.Context, pool *exec.Pool, first bool) error {
+	n := e.n
+	return pool.ForBlocked(ctx, n, rollGrain, func(lo, hi int) {
+		if first {
+			for i := lo; i < hi; i++ {
+				copy(e.g[i*n+i:(i+1)*n], e.gCur[i*n+i:(i+1)*n])
+			}
+		} else {
+			kernel.AddUpper(e.g, e.gCur, n, lo, hi)
+		}
+		for i := lo; i < hi; i++ {
+			clear(e.gCur[i*n+i : (i+1)*n])
+		}
+	})
+}
+
 // Rebuild recomputes the moments exactly from the buffered window: the ring
-// is linearized in time order and kernel.SyrkUpperBand re-folds the
-// cross-product band with the same ascending-t arithmetic the batch path
-// uses, discarding all accumulated roll drift. O(n²·T); snapshots taken
-// before the next slide are bit-identical to batch afterwards.
+// is linearized in time order and the panel-parallel SYRK re-folds the
+// cross-product band with the same ascending-panel arithmetic the batch path
+// uses, discarding all accumulated roll drift. During the fill phase of a
+// multi-panel window it reconstructs the split state — folded full panels in
+// g, the partial panel's chain in gCur — so recovery from a cancelled kernel
+// lands on exactly the state incremental pushes would have produced.
+// O(n²·T); snapshots taken before the next slide are bit-identical to batch
+// afterwards (in-mode for float32).
 func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 	if e.count == 0 {
 		e.slides, e.dirty, e.corrupt = 0, false, false
 		return nil
+	}
+	if e.prec == Float32 {
+		return e.rebuild32(ctx, pool)
 	}
 	n, t := e.n, e.count
 	z := e.Linearize()
@@ -234,9 +475,19 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 		}
 		e.s[i] = sum
 	}
-	err := pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
-		kernel.SyrkUpperBand(z, n, t, e.g, lo, hi)
-	})
+	full := t
+	if e.gCur != nil {
+		full = t - t%kernel.PanelLen
+	}
+	err := matrix.SyrkUpperWS(ctx, pool, e.w, z, n, t, full, e.g)
+	if err == nil && e.gCur != nil {
+		err = pool.ForBlocked(ctx, n, kernel.RowBandGrain, func(lo, hi int) {
+			// The partial panel [full, t) is one panel-aligned slice:
+			// store-mode SyrkUpperRange rebuilds gCur's chain from zero
+			// (and zero-fills it when the partial panel is empty).
+			kernel.SyrkUpperRange(z, n, t, e.gCur, lo, hi, full, t, true)
+		})
+	}
 	if err != nil {
 		// The band is part-old, part-rebuilt; the ring is untouched, so a
 		// later Rebuild (the next Push retries it) fully recovers.
@@ -254,9 +505,42 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 	return nil
 }
 
+// rebuild32 is the float32-mode Rebuild: the single-chain SyrkUpperBandF32
+// over the linearized float32 ring, float64 sums folded from the rounded
+// ring values (matching what push32 accumulated).
+func (e *Engine) rebuild32(ctx context.Context, pool *exec.Pool) error {
+	n, t := e.n, e.count
+	z := e.linearize32()
+	defer e.w.PutFloat32(z)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for _, v := range z[i*t : (i+1)*t] {
+			sum += float64(v)
+		}
+		e.s[i] = sum
+	}
+	err := pool.ForBlocked(ctx, n, 8, func(lo, hi int) {
+		kernel.SyrkUpperBandF32(z, n, t, e.g32, lo, hi)
+	})
+	if err != nil {
+		e.corrupt = true
+		return err
+	}
+	if e.dirty || e.corrupt {
+		e.gen++
+	}
+	e.slides, e.dirty, e.corrupt = 0, false, false
+	return nil
+}
+
 // CopyState copies the upper-triangle cross-product band into gDst (length ≥
-// n², lower triangle left untouched) and the rolling sums into sDst (length
-// ≥ n), returning the number of samples in the window. Feeding the copies to
+// n², lower triangle left untouched, always float64) and the rolling sums
+// into sDst (length ≥ n), returning the number of samples in the window.
+// During the fill phase of a multi-panel float64 window the copy fuses the
+// batch SYRK's final fold — gDst = g + gCur — which is exactly the one add
+// per entry the batch performs on its last partial panel, so snapshots stay
+// bit-identical to batch mid-fill. In float32 mode the band values are
+// upconverted (exact, float32 ⊂ float64). Feeding the copies to
 // matrix.FinishMomentsWS yields the window's correlation matrix. CopyState
 // is the only reader the snapshot path needs, so callers can hold a shared
 // (read) lock just for this call and run the finish and the clustering
@@ -270,30 +554,69 @@ func (e *Engine) CopyState(gDst, sDst []float64) (int, error) {
 		return 0, fmt.Errorf("stream: moment state is awaiting resynchronization; Push or Rebuild first")
 	}
 	n := e.n
-	for i := 0; i < n; i++ {
-		copy(gDst[i*n+i:(i+1)*n], e.g[i*n+i:(i+1)*n])
+	switch {
+	case e.prec == Float32:
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				gDst[i*n+j] = float64(e.g32[i*n+j])
+			}
+		}
+	case e.gCur == nil:
+		for i := 0; i < n; i++ {
+			copy(gDst[i*n+i:(i+1)*n], e.g[i*n+i:(i+1)*n])
+		}
+	case e.count < kernel.PanelLen:
+		// Every sample so far is in the first (unfolded) panel: the chain in
+		// gCur IS the batch result — copying g + gCur would instead flush
+		// negative-zero entries through 0 + x.
+		for i := 0; i < n; i++ {
+			copy(gDst[i*n+i:(i+1)*n], e.gCur[i*n+i:(i+1)*n])
+		}
+	default:
+		// Mid-fill with folded panels: fuse the final partial-panel fold.
+		// When the partial panel is empty (count on a boundary) gCur is all
+		// zeros and the add is exact, matching the batch fold that also ends
+		// on the boundary — except for negative-zero band entries, which an
+		// explicit copy preserves and 0 + (−0) would not; the boundary case
+		// therefore copies g alone.
+		if e.count%kernel.PanelLen == 0 {
+			for i := 0; i < n; i++ {
+				copy(gDst[i*n+i:(i+1)*n], e.g[i*n+i:(i+1)*n])
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			row := i * n
+			for j := i; j < n; j++ {
+				gDst[row+j] = e.g[row+j] + e.gCur[row+j]
+			}
+		}
 	}
 	copy(sDst[:n], e.s)
 	return e.count, nil
 }
 
 // Linearize returns the window's samples in time order as one flat n×t
-// series-major buffer (z[i*t+k] = sample k of series i) drawn from the
-// engine's workspace; the caller releases it with PutFloat64. It is the
+// series-major float64 buffer (z[i*t+k] = sample k of series i) drawn from
+// the engine's workspace; the caller releases it with PutFloat64. It is the
 // exact batch-equivalent input: running the batch pipeline over its rows is
-// the reference every exactness guarantee is stated against.
+// the reference every exactness guarantee is stated against (for float32
+// mode the values are the rounded float32 samples, upconverted).
 func (e *Engine) Linearize() []float64 {
 	n, t := e.n, e.count
 	z := e.w.Float64(n * t)
-	// Oldest sample's slot: head-count wrapped (head==count while filling).
-	start := e.head - t
-	if start < 0 {
-		start += e.window
-	}
+	start := e.oldestSlot()
 	for k := 0; k < t; k++ {
 		slot := start + k
 		if slot >= e.window {
 			slot -= e.window
+		}
+		if e.prec == Float32 {
+			row := e.ring32[slot*n : slot*n+n]
+			for i, v := range row {
+				z[i*t+k] = float64(v)
+			}
+			continue
 		}
 		row := e.ring[slot*n : slot*n+n]
 		for i, v := range row {
@@ -301,6 +624,34 @@ func (e *Engine) Linearize() []float64 {
 		}
 	}
 	return z
+}
+
+// linearize32 is Linearize staying in float32, for the in-mode rebuild.
+func (e *Engine) linearize32() []float32 {
+	n, t := e.n, e.count
+	z := e.w.Float32(n * t)
+	start := e.oldestSlot()
+	for k := 0; k < t; k++ {
+		slot := start + k
+		if slot >= e.window {
+			slot -= e.window
+		}
+		row := e.ring32[slot*n : slot*n+n]
+		for i, v := range row {
+			z[i*t+k] = v
+		}
+	}
+	return z
+}
+
+// oldestSlot returns the ring slot of the oldest buffered sample
+// (head−count wrapped; head==count while filling).
+func (e *Engine) oldestSlot() int {
+	start := e.head - e.count
+	if start < 0 {
+		start += e.window
+	}
+	return start
 }
 
 // Workspace returns the workspace the engine draws scratch from.
@@ -311,8 +662,20 @@ func (e *Engine) Workspace() *ws.Workspace { return e.w }
 // first-ever sample is rejected and the series count should stay open). The
 // engine must not be used afterwards.
 func (e *Engine) Release() {
-	e.w.PutFloat64(e.ring)
-	e.w.PutFloat64(e.g)
+	if e.prec == Float32 {
+		e.w.PutFloat32(e.ring32)
+		e.w.PutFloat32(e.g32)
+		e.w.PutFloat32(e.x32)
+		e.ring32, e.g32, e.x32 = nil, nil, nil
+	} else {
+		e.w.PutFloat64(e.ring)
+		e.w.PutFloat64(e.g)
+		if e.gCur != nil {
+			e.w.PutFloat64(e.gCur)
+			e.gCur = nil
+		}
+		e.ring, e.g = nil, nil
+	}
 	e.w.PutFloat64(e.s)
-	e.ring, e.g, e.s = nil, nil, nil
+	e.s = nil
 }

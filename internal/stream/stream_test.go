@@ -88,7 +88,7 @@ func maxAbsDiff(a, b []float64) float64 {
 // pushed samples — the exactness half of the streaming contract.
 func TestEngineFillBitIdentical(t *testing.T) {
 	const n, window = 7, 16
-	e, err := New(n, window, 4, ws.New())
+	e, err := New(n, window, 4, Float64, ws.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestEngineFillBitIdentical(t *testing.T) {
 // a rebuild — periodic or forced — restores bit-identity.
 func TestEngineSlideDriftAndRebuild(t *testing.T) {
 	const n, window, K = 6, 12, 5
-	e, err := New(n, window, K, ws.New())
+	e, err := New(n, window, K, Float64, ws.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +181,7 @@ func TestEngineWorkersBitIdentical(t *testing.T) {
 	const n, window = 33, 20
 	stream := ticks(4, n, window+13)
 	run := func(workers int) []float64 {
-		e, err := New(n, window, 8, ws.New())
+		e, err := New(n, window, 8, Float64, ws.New())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -212,13 +212,13 @@ func TestEngineWorkersBitIdentical(t *testing.T) {
 // wrong sample arity, and non-finite samples (which must leave the state
 // untouched).
 func TestEngineValidation(t *testing.T) {
-	if _, err := New(0, 8, 0, nil); err == nil {
+	if _, err := New(0, 8, 0, Float64, nil); err == nil {
 		t.Fatal("n=0 accepted")
 	}
-	if _, err := New(4, 1, 0, nil); err == nil {
+	if _, err := New(4, 1, 0, Float64, nil); err == nil {
 		t.Fatal("window=1 accepted")
 	}
-	e, err := New(3, 4, 0, ws.New())
+	e, err := New(3, 4, 0, Float64, ws.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +257,7 @@ func TestEngineValidation(t *testing.T) {
 // half-applied tick ever reaches a snapshot.
 func TestEngineCancelledPushRecovers(t *testing.T) {
 	const n, window = 5, 8
-	e, err := New(n, window, 0, ws.New())
+	e, err := New(n, window, 0, Float64, ws.New())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,7 +310,7 @@ func TestEngineCancelledPushRecovers(t *testing.T) {
 // TestEngineRebuildDisabled: rebuildEvery ≤ 0 never rebuilds on its own.
 func TestEngineRebuildDisabled(t *testing.T) {
 	const n, window = 4, 6
-	e, err := New(n, window, -1, ws.New())
+	e, err := New(n, window, -1, Float64, ws.New())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"pfg/internal/exec"
 	"pfg/internal/hac"
 	"pfg/internal/inc"
+	"pfg/internal/kernel"
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
 	"pfg/internal/stream"
@@ -392,6 +393,34 @@ func TMFG(sim *Matrix, prefix int) (edges [][2]int32, weight float64, err error)
 // number of window slides between exact moment recomputations.
 const DefaultRebuildEvery = stream.DefaultRebuildEvery
 
+// Precision selects a Streamer's moment-storage mode — see
+// StreamOptions.Precision.
+type Precision = stream.Precision
+
+const (
+	// Float64 stores the window ring and moment band in float64: full memory
+	// bandwidth, full bit-determinism against the batch pipeline. The default.
+	Float64 = stream.Float64
+	// Float32 stores ring and band in float32, halving the per-tick memory
+	// traffic of the O(n²) roll and the ring bytes a serving layer charges
+	// per session. Correlations deviate from the float64 pipeline by at most
+	// Float32CorrBound on well-conditioned data, and snapshots lose their
+	// cross-mode bit-identity guarantee (they remain deterministic and
+	// worker-count independent within the mode).
+	Float32 = stream.Float32
+)
+
+// Float32CorrBound is the documented correlation error bound of the Float32
+// storage mode — see stream.Float32CorrBound for its conditioning caveats.
+const Float32CorrBound = stream.Float32CorrBound
+
+// KernelISA reports which compute-kernel backend this process selected at
+// init: "avx2" on amd64 hosts with AVX2 (unless built with -tags purego or
+// started with PFG_NOSIMD set), "scalar" otherwise. Both backends produce
+// bit-identical float64 results; the name is operational metadata for logs
+// and /statsz, not a correctness signal.
+func KernelISA() string { return kernel.ISA() }
+
 // ErrClosed is the sentinel returned by Push, Snapshot, SnapshotGen, and
 // Rebuild once the Streamer has been closed. Test for it with errors.Is; a
 // closed streamer never panics or blocks.
@@ -412,6 +441,11 @@ type StreamOptions struct {
 	// a negative value disables periodic rebuilds (Rebuild can still be
 	// called explicitly).
 	RebuildEvery int
+	// Precision selects the moment-storage mode: the zero value (Float64)
+	// keeps the full bit-determinism contract; Float32 halves the window's
+	// memory footprint and per-tick bandwidth at a bounded correlation error
+	// (Float32CorrBound). Fixed for the streamer's lifetime.
+	Precision Precision
 	// Incremental enables the cross-tick incremental clustering layer (see
 	// IncrementalOptions). The zero value leaves it off: every snapshot
 	// clusters the window from scratch.
@@ -555,8 +589,9 @@ func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
 // Push admits one sample — one observation per series, in series order —
 // into the rolling window in O(n²). The first Push fixes the number of
 // series. Samples must be finite and within the window's overflow-safe
-// magnitude bound (√(MaxFloat64/window), ~2.1e152 at window 4096); a
-// rejected Push leaves the window untouched.
+// magnitude bound — √(MaxFloat/window) of the storage mode, ~2.1e152 at
+// window 4096 in Float64 and ~2.8e17 in Float32; a rejected Push leaves the
+// window untouched.
 func (st *Streamer) Push(sample []float64) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -568,7 +603,7 @@ func (st *Streamer) Push(sample []float64) error {
 		// push is rejected (non-finite values), discard the tentative
 		// engine so a later well-formed sample of any arity can still be
 		// first.
-		eng, err := stream.New(len(sample), st.window, st.opts.RebuildEvery, st.w)
+		eng, err := stream.New(len(sample), st.window, st.opts.RebuildEvery, st.opts.Precision, st.w)
 		if err != nil {
 			return err
 		}
@@ -687,6 +722,22 @@ func (st *Streamer) Len() int {
 
 // Window returns the window capacity in samples.
 func (st *Streamer) Window() int { return st.window }
+
+// Precision returns the streamer's moment-storage mode.
+func (st *Streamer) Precision() Precision { return st.opts.Precision }
+
+// MemoryBytes reports the resident bytes of the streamer's window ring and
+// moment band — the figures a serving layer charges against its memory
+// ceilings (both 0 before the first admitted push; Float32 sessions are half
+// the Float64 figures for the same shape).
+func (st *Streamer) MemoryBytes() (ringBytes, bandBytes int) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.eng == nil {
+		return 0, 0
+	}
+	return st.eng.RingBytes(), st.eng.BandBytes()
+}
 
 // Series returns the number of series, fixed by the first admitted Push
 // (0 before that).
