@@ -1,0 +1,298 @@
+package pfg_test
+
+// Push-delivery benchmarks (BENCH_push.json): the cost and wire weight of
+// delivering one window update to S subscribers, SSE+delta (one push → one
+// clustering run → one encode → S queue offers, consecutive generations sent
+// as sparse deltas) vs the polling baseline (every client re-GETs the full
+// snapshot body after every push). The headline metric is bytes/update: the
+// mean wire bytes one subscriber receives per generation, against the full
+// snapshot body it would have polled.
+//
+// Unlike bench_serve_test.go these run against a real listener
+// (httptest.NewServer), not recorders: SSE needs a flushable, long-lived
+// connection, so the numbers include socket transport for both modes.
+//
+// Run: go test -bench BenchmarkPushDelivery -run '^$' -benchtime 20x .
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"pfg/internal/serve"
+)
+
+// sseSub is one subscribed benchmark client: a live event stream plus a
+// frame reader that reports how many wire bytes each event cost.
+type sseSub struct {
+	body io.ReadCloser
+	br   *bufio.Reader
+}
+
+func dialEvents(tb testing.TB, base string) *sseSub {
+	tb.Helper()
+	resp, err := http.Get(base + "/v1/sessions/bench/events?k=8")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("subscribe: status %d", resp.StatusCode)
+	}
+	sub := &sseSub{body: resp.Body, br: bufio.NewReader(resp.Body)}
+	tb.Cleanup(func() { sub.body.Close() })
+	return sub
+}
+
+// readEvent consumes one SSE frame and returns its name and wire size.
+func (s *sseSub) readEvent(tb testing.TB) (string, int) {
+	tb.Helper()
+	var name string
+	var size int
+	for {
+		line, err := s.br.ReadString('\n')
+		if err != nil {
+			tb.Fatalf("reading SSE frame: %v", err)
+		}
+		size += len(line)
+		line = strings.TrimRight(line, "\n")
+		if line == "" && name != "" {
+			return name, size
+		}
+		if rest, ok := strings.CutPrefix(line, "event: "); ok {
+			name = rest
+		}
+	}
+}
+
+// newPushServer stands up a real listener with one full-window tmfg-dbht
+// session and returns its base URL plus the full snapshot body size (the
+// polling baseline's per-update wire cost).
+func newPushServer(tb testing.TB, window int, bodies [][]byte) (string, int) {
+	tb.Helper()
+	srv := serve.New(serve.Options{})
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	post := func(path string, body []byte) {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			tb.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+	}
+	// The session runs the incremental serving layer (PR 6): while the
+	// window's correlation drift stays inside the threshold, snapshots serve
+	// the same reference clustering, so consecutive generations differ only
+	// in their staleness scalars and deltas collapse to a few hundred bytes.
+	// That is the regime push-based delivery is built for — a quiet window
+	// re-polled by many clients — with the drift gate and MaxStale bounding
+	// how long structure may be reused before a full retransmit.
+	create, err := json.Marshal(map[string]any{
+		"id": "bench", "window": window, "method": "tmfg-dbht", "rebuild_every": -1,
+		"incremental": map[string]any{"drift_threshold": 0.2, "max_stale": 64},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	post("/v1/sessions", create)
+	for _, body := range bodies[:window] {
+		post("/v1/sessions/bench/push", body)
+	}
+	// Warm the caches and measure the full body (what one poll costs).
+	resp, err := http.Get(ts.URL + "/v1/sessions/bench/snapshot?k=8")
+	if err != nil {
+		tb.Fatal(err)
+	}
+	full, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("warm snapshot: status %d %s", resp.StatusCode, full)
+	}
+	return ts.URL, len(full)
+}
+
+func pushOne(tb testing.TB, base string, body []byte) {
+	tb.Helper()
+	resp, err := http.Post(base+"/v1/sessions/bench/push", "application/json", bytes.NewReader(body))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		tb.Fatalf("push: status %d", resp.StatusCode)
+	}
+}
+
+func BenchmarkPushDelivery(b *testing.B) {
+	const (
+		n      = 512
+		window = 256
+		spare  = 256 // update ticks the delivery loops cycle through
+	)
+	_, bodies := benchTicks(b, n, window+spare)
+
+	for _, subs := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("sse/subs=%d", subs), func(b *testing.B) {
+			base, fullLen := newPushServer(b, window, bodies)
+			clients := make([]*sseSub, subs)
+			for i := range clients {
+				clients[i] = dialEvents(b, base)
+				if name, _ := clients[i].readEvent(b); name != "snapshot" {
+					b.Fatalf("subscriber %d first event %q, want snapshot", i, name)
+				}
+			}
+			var wireBytes, deltas, fulls int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// One delivery tick: the push bumps the generation; every
+				// subscriber then receives that one update (the read blocks
+				// until the broadcaster's single clustering run fans out).
+				pushOne(b, base, bodies[window+i%spare])
+				for _, c := range clients {
+					name, size := c.readEvent(b)
+					wireBytes += int64(size)
+					switch name {
+					case "delta":
+						deltas++
+					case "snapshot":
+						fulls++
+					default:
+						b.Fatalf("unexpected event %q", name)
+					}
+				}
+			}
+			b.StopTimer()
+			updates := int64(b.N) * int64(subs)
+			b.ReportMetric(float64(wireBytes)/float64(updates), "bytes/update")
+			b.ReportMetric(float64(fullLen), "fullbody_bytes")
+			b.ReportMetric(float64(deltas)/float64(updates), "delta_fraction")
+		})
+	}
+
+	// Polling baseline: after every push, each of 32 clients re-GETs the
+	// full snapshot. Generation-cache hits make the server-side cost cheap,
+	// but every poll still ships the entire body.
+	b.Run("poll/pollers=32", func(b *testing.B) {
+		const pollers = 32
+		base, _ := newPushServer(b, window, bodies)
+		var wireBytes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			pushOne(b, base, bodies[window+i%spare])
+			for p := 0; p < pollers; p++ {
+				resp, err := http.Get(base + "/v1/sessions/bench/snapshot?k=8")
+				if err != nil {
+					b.Fatal(err)
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil || resp.StatusCode != http.StatusOK {
+					b.Fatalf("poll: status %d err %v", resp.StatusCode, err)
+				}
+				wireBytes += int64(len(body))
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(wireBytes)/float64(int64(b.N)*pollers), "bytes/update")
+	})
+
+	// Conditional-read pair: the same unchanged-window re-poll, as a full
+	// cached GET (the body cache's best case) and as an If-Generation 304
+	// (no cut parsing, no cache probe, no body). These two run in-process
+	// like BenchmarkServeSnapshot — the server-side cost per request,
+	// without socket transport masking the difference. The request is built
+	// once and the response writer reused (statusSink below), so neither
+	// loop times the test harness allocating recorders; what remains is
+	// routing + handler + body write, the same floor for both.
+	b.Run("conditional/full-get", func(b *testing.B) {
+		h := newServeSession(b, "tmfg-dbht", window, bodies)
+		if rec := serveReq(b, h, "GET", "/v1/sessions/bench/snapshot?k=8", nil); rec.Code != http.StatusOK {
+			b.Fatalf("warm snapshot: %d %s", rec.Code, rec.Body)
+		}
+		req := httptest.NewRequest("GET", "/v1/sessions/bench/snapshot?k=8", nil)
+		sink := newStatusSink()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.reset()
+			h.ServeHTTP(sink, req)
+			if sink.code != http.StatusOK {
+				b.Fatalf("cached GET: %d", sink.code)
+			}
+		}
+	})
+	b.Run("conditional/304", func(b *testing.B) {
+		h := newServeSession(b, "tmfg-dbht", window, bodies)
+		rec := serveReq(b, h, "GET", "/v1/sessions/bench/snapshot?k=8", nil)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm snapshot: %d %s", rec.Code, rec.Body)
+		}
+		var snap struct {
+			Generation uint64 `json:"generation"`
+		}
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			b.Fatal(err)
+		}
+		// The cheap re-poll shape: the precondition in the header, no query
+		// string to parse at all on the unchanged path.
+		req := httptest.NewRequest("GET", "/v1/sessions/bench/snapshot", nil)
+		req.Header.Set("If-Generation", fmt.Sprint(snap.Generation))
+		sink := newStatusSink()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sink.reset()
+			h.ServeHTTP(sink, req)
+			if sink.code != http.StatusNotModified {
+				b.Fatalf("conditional: status %d, want 304", sink.code)
+			}
+		}
+	})
+}
+
+// statusSink is a reusable ResponseWriter: it records the status and copies
+// the body into a recycled scratch buffer — the memcpy a real server pays
+// writing the body out — so benchmark loops time the server's work, not
+// httptest recorder allocation.
+type statusSink struct {
+	hdr  http.Header
+	buf  []byte
+	code int
+}
+
+func newStatusSink() *statusSink { return &statusSink{hdr: make(http.Header)} }
+
+func (s *statusSink) reset() {
+	s.code = 0
+	clear(s.hdr)
+}
+
+func (s *statusSink) Header() http.Header { return s.hdr }
+
+func (s *statusSink) WriteHeader(code int) {
+	if s.code == 0 {
+		s.code = code
+	}
+}
+
+func (s *statusSink) Write(p []byte) (int, error) {
+	s.WriteHeader(http.StatusOK)
+	if len(s.buf) < len(p) {
+		s.buf = make([]byte, len(p))
+	}
+	copy(s.buf, p)
+	return len(p), nil
+}

@@ -73,7 +73,10 @@ func newServeSession(tb testing.TB, method string, window int, bodies [][]byte) 
 	srv := serve.New(serve.Options{})
 	tb.Cleanup(srv.Close)
 	h := srv.Handler()
-	create, err := json.Marshal(map[string]any{"id": "bench", "window": window, "method": method})
+	// Periodic drift rebuilds are disabled so the uncached loop's cost — and
+	// in particular its alloc count — doesn't depend on how many amortized
+	// rebuilds happen to land inside the measured b.N window.
+	create, err := json.Marshal(map[string]any{"id": "bench", "window": window, "method": method, "rebuild_every": -1})
 	if err != nil {
 		tb.Fatal(err)
 	}

@@ -11,6 +11,8 @@
 //	POST   /v1/sessions                 {"id":"feed","window":4096,"method":"tmfg-dbht"}
 //	POST   /v1/sessions/{id}/push       {"sample":[...]} or {"samples":[[...],...]}
 //	GET    /v1/sessions/{id}/snapshot   ?k=8 — cluster the current window
+//	                                    (If-Generation / ?if_generation= + ?wait= → 304 / long-poll)
+//	GET    /v1/sessions/{id}/events     SSE stream: full snapshots + sparse deltas per update
 //	GET    /v1/sessions /v1/sessions/{id}   list / inspect
 //	DELETE /v1/sessions/{id}            delete
 //	GET    /healthz /statsz             liveness, counters and latencies
@@ -82,9 +84,12 @@ func main() {
 	}
 	stop() // restore default signal behavior: a second ^C kills the drain
 
-	// Shutdown drains in-flight requests — including snapshot waits — then
-	// Close cancels whatever still runs and closes every session.
+	// Drain ends the endless in-flight requests (SSE event streams get a
+	// terminal "bye" frame, parked long-polls return 304) so Shutdown can
+	// drain the finite ones — including snapshot waits — then Close cancels
+	// whatever still runs and closes every session.
 	fmt.Fprintln(os.Stderr, "pfg-serve: draining")
+	srv.Drain()
 	shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {

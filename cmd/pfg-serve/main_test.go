@@ -194,3 +194,126 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("server did not exit after SIGTERM")
 	}
 }
+
+// readSSE parses one Server-Sent Events frame off the stream.
+func readSSE(t *testing.T, br *bufio.Reader) (name string, data []byte) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && name != "":
+			return name, data
+		case strings.HasPrefix(line, "event: "):
+			name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(line[len("data: "):])
+		}
+	}
+}
+
+// TestServePushDelivery is the push-path end-to-end against the real binary:
+// subscribe over SSE, push one tick, receive exactly one delta event, apply
+// it locally, and land byte-identical to the full snapshot — then SIGTERM
+// with the stream open, which must produce a terminal bye frame (the drain
+// path) and a clean exit.
+func TestServePushDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped under -short; run by the dedicated smoke step")
+	}
+	bin := buildBinary(t)
+	base, cmd := startServer(t, bin)
+
+	const n, window = 16, 24
+	ds := tsgen.GenerateClassed("push-e2e", n, window+1, 3, 0.4, 7)
+	tick := func(k int) []float64 {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = ds.Series[i][k]
+		}
+		return x
+	}
+	postJSON(t, base+"/v1/sessions", map[string]any{
+		"id": "feed", "window": window, "method": "tmfg-dbht", "rebuild_every": -1,
+	}, http.StatusCreated, nil)
+	samples := make([][]float64, window)
+	for k := range samples {
+		samples[k] = tick(k)
+	}
+	postJSON(t, base+"/v1/sessions/feed/push", map[string]any{"samples": samples}, http.StatusOK, nil)
+
+	resp, err := http.Get(base + "/v1/sessions/feed/events?k=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("subscribe: status %d, Content-Type %q", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	br := bufio.NewReader(resp.Body)
+	name, data := readSSE(t, br)
+	if name != "snapshot" {
+		t.Fatalf("first event %q, want snapshot", name)
+	}
+	var baseSnap struct {
+		Generation uint64          `json:"generation"`
+		Result     *pfg.ResultJSON `json:"result"`
+	}
+	if err := json.Unmarshal(data, &baseSnap); err != nil {
+		t.Fatal(err)
+	}
+
+	postJSON(t, base+"/v1/sessions/feed/push", map[string]any{"sample": tick(window)}, http.StatusOK, nil)
+	name, data = readSSE(t, br)
+	if name != "delta" {
+		t.Fatalf("post-push event %q, want delta", name)
+	}
+	var dr struct {
+		FromGeneration uint64               `json:"from_generation"`
+		Generation     uint64               `json:"generation"`
+		Delta          *pfg.ResultDeltaJSON `json:"delta"`
+	}
+	if err := json.Unmarshal(data, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.FromGeneration != baseSnap.Generation || dr.Generation != baseSnap.Generation+1 {
+		t.Fatalf("delta spans %d→%d, want %d→%d",
+			dr.FromGeneration, dr.Generation, baseSnap.Generation, baseSnap.Generation+1)
+	}
+	rec, err := baseSnap.Result.ApplyDelta(dr.Delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full struct {
+		Generation uint64          `json:"generation"`
+		Result     *pfg.ResultJSON `json:"result"`
+	}
+	getJSON(t, base+"/v1/sessions/feed/snapshot?k=3", &full)
+	got, _ := json.Marshal(rec)
+	want, _ := json.Marshal(full.Result)
+	if full.Generation != dr.Generation || !bytes.Equal(got, want) {
+		t.Fatalf("delta reconstruction diverged from the snapshot\n got: %s\nwant: %s", got, want)
+	}
+
+	// SIGTERM with the stream open: drain must end it with a bye frame and
+	// the process must still exit cleanly.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if name, _ = readSSE(t, br); name != "bye" {
+		t.Fatalf("post-SIGTERM event %q, want bye", name)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM with an open event stream")
+	}
+}

@@ -1,13 +1,15 @@
 // Serving demo: stands up the pfg-serve HTTP layer in-process on an
 // ephemeral port, then plays a client against it — create a session, stream
-// correlated ticks, read coalesced snapshots, and dump the server counters.
-// The same requests work against a real `pfg-serve` process; swap base for
-// its address.
+// correlated ticks, read coalesced snapshots, subscribe to the SSE event
+// stream and reconstruct snapshots locally from deltas, and dump the server
+// counters. The same requests work against a real `pfg-serve` process; swap
+// base for its address.
 //
 //	go run ./examples/serve
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -15,6 +17,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 
 	"pfg"
@@ -106,6 +109,56 @@ func main() {
 	resp.Body.Close()
 	fmt.Println("after one more tick:", resp.Header.Get("X-Pfg-Cache"))
 
+	// Push delivery: subscribe to the session's event stream. The first
+	// frame is a full snapshot; after that, every push fans out as either a
+	// sparse delta (applied locally with ApplyDelta) or a fresh snapshot,
+	// whichever is smaller on the wire — no re-polling.
+	sub, err := http.Get(base + "/v1/sessions/demo/events?k=3")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Body.Close()
+	br := bufio.NewReader(sub.Body)
+	var view *pfg.ResultJSON
+	var gen uint64
+	readFrame := func() {
+		name, data := readSSE(br)
+		switch name {
+		case "snapshot":
+			var s struct {
+				Generation uint64          `json:"generation"`
+				Result     *pfg.ResultJSON `json:"result"`
+			}
+			if err := json.Unmarshal(data, &s); err != nil {
+				log.Fatal(err)
+			}
+			view, gen = s.Result, s.Generation
+			fmt.Printf("event snapshot: generation %d, %d wire bytes\n", gen, len(data))
+		case "delta":
+			var d struct {
+				Generation uint64               `json:"generation"`
+				Delta      *pfg.ResultDeltaJSON `json:"delta"`
+			}
+			if err := json.Unmarshal(data, &d); err != nil {
+				log.Fatal(err)
+			}
+			next, err := view.ApplyDelta(d.Delta)
+			if err != nil {
+				log.Fatal(err)
+			}
+			view, gen = next, d.Generation
+			fmt.Printf("event delta: generation %d, %d wire bytes, labels at k=3: %v\n",
+				gen, len(data), view.Cuts["3"])
+		default:
+			log.Fatalf("unexpected event %q", name)
+		}
+	}
+	readFrame() // initial snapshot
+	for i := 0; i < 3; i++ {
+		post(base+"/v1/sessions/demo/push", map[string]any{"sample": tick()})
+		readFrame()
+	}
+
 	var stats struct {
 		TicksPushed       uint64  `json:"ticks_pushed"`
 		SnapshotRequests  uint64  `json:"snapshot_requests"`
@@ -113,11 +166,35 @@ func main() {
 		SnapshotHits      uint64  `json:"snapshot_hits"`
 		SnapshotCoalesced uint64  `json:"snapshot_coalesced"`
 		SnapshotRunMeanMs float64 `json:"snapshot_run_mean_ms"`
+		EventsDelta       uint64  `json:"events_delta"`
+		EventsFull        uint64  `json:"events_full"`
+		EventBytesSaved   uint64  `json:"event_bytes_saved"`
 	}
 	get(base+"/statsz", &stats)
 	fmt.Printf("statsz: %d ticks, %d snapshot requests → %d clustering runs (%d hits, %d coalesced), %.2fms mean run\n",
 		stats.TicksPushed, stats.SnapshotRequests, stats.SnapshotRuns,
 		stats.SnapshotHits, stats.SnapshotCoalesced, stats.SnapshotRunMeanMs)
+	fmt.Printf("push delivery: %d delta events, %d full events, %d wire bytes saved by deltas\n",
+		stats.EventsDelta, stats.EventsFull, stats.EventBytesSaved)
+}
+
+// readSSE parses one Server-Sent Events frame off the stream.
+func readSSE(br *bufio.Reader) (name string, data []byte) {
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			log.Fatalf("reading SSE frame: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "" && name != "":
+			return name, data
+		case strings.HasPrefix(line, "event: "):
+			name = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(line[len("data: "):])
+		}
+	}
 }
 
 func post(url string, body any) {

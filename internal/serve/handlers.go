@@ -270,12 +270,158 @@ func parseCuts(vals []string) ([]int, error) {
 	return ks, nil
 }
 
+// maxLongPoll caps the ?wait= long-poll duration so parked conditional
+// reads cannot hold connections indefinitely.
+const maxLongPoll = 60 * time.Second
+
+// parseIfGeneration reads the conditional-read precondition: the
+// If-Generation header, or the if_generation query parameter for clients
+// that cannot set headers (EventSource, curl one-liners).
+func parseIfGeneration(r *http.Request) (uint64, bool, error) {
+	v := r.Header.Get("If-Generation")
+	if v == "" {
+		v = r.URL.Query().Get("if_generation")
+	}
+	if v == "" {
+		return 0, false, nil
+	}
+	g, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("bad If-Generation %q: want an unsigned integer", v)
+	}
+	return g, true, nil
+}
+
+// waitForChange parks until the session's generation moves off ifGen, the
+// wait budget d runs out, the requester gives up, or the server drains.
+// Returns the last observed generation (== ifGen on timeout). The watch
+// channel is fetched before the generation is read, so a bump racing the
+// park is never missed.
+func (s *Server) waitForChange(ctx context.Context, sess *Session, ifGen uint64, d time.Duration) uint64 {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		gen, ch := sess.st.Watch()
+		if gen != ifGen {
+			return gen
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return ifGen
+		case <-ctx.Done():
+			return ifGen
+		case <-s.drainCh:
+			return ifGen
+		case <-sess.done:
+			// Deleted mid-wait: Generation now reports 0 ≠ ifGen, so the
+			// caller falls through to the normal path and surfaces 410.
+			return sess.st.Generation()
+		}
+	}
+}
+
+// writeNotModified is the zero-body fast path of a conditional read: the
+// client's generation still stamps the window, so its snapshot is current.
+func (s *Server) writeNotModified(w http.ResponseWriter, gen uint64) {
+	s.stats.NotModified.Add(1)
+	w.Header().Set("X-Pfg-Generation", strconv.FormatUint(gen, 10))
+	w.WriteHeader(http.StatusNotModified)
+}
+
+// tryNotModifiedFast serves GET /v1/sessions/{id}/snapshot with a matching
+// If-Generation header — the request a re-poll storm consists almost
+// entirely of — without the router's per-request path parsing. It only ever
+// answers the unchanged case: any other shape (query parameters, an
+// escaped or nested id, a malformed or stale generation, an unknown
+// session) returns false and takes the routed path, which re-derives the
+// same answer along with its error handling.
+func (s *Server) tryNotModifiedFast(w http.ResponseWriter, r *http.Request) bool {
+	if r.Method != http.MethodGet || r.URL.RawQuery != "" {
+		return false
+	}
+	v := r.Header.Get("If-Generation")
+	if v == "" {
+		return false
+	}
+	const pre, suf = "/v1/sessions/", "/snapshot"
+	path := r.URL.Path
+	if len(path) <= len(pre)+len(suf) || path[:len(pre)] != pre || path[len(path)-len(suf):] != suf {
+		return false
+	}
+	id := path[len(pre) : len(path)-len(suf)]
+	if strings.ContainsAny(id, "/%") {
+		return false
+	}
+	g, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return false
+	}
+	sess, ok := s.reg.Get(id)
+	if !ok {
+		return false
+	}
+	if cur := sess.st.Generation(); cur == 0 || cur != g {
+		return false
+	}
+	s.stats.ConditionalRequests.Add(1)
+	s.stats.NotModified.Add(1)
+	// The client's header string is the generation it matched against —
+	// echo it back instead of re-formatting the number.
+	w.Header().Set("X-Pfg-Generation", v)
+	w.WriteHeader(http.StatusNotModified)
+	return true
+}
+
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	sess, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
+
+	// Conditional read: If-Generation names the generation the client
+	// already holds. While it still stamps the window the response is a 304
+	// with zero body work — no cut parsing, no cache probe, no marshaling —
+	// optionally after parking up to ?wait= for the next bump (long-poll).
+	ifGen, conditional, err := parseIfGeneration(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if conditional {
+		s.stats.ConditionalRequests.Add(1)
+		cur := sess.st.Generation()
+		if cur != 0 && cur == ifGen {
+			// RawQuery is checked first so a header-only conditional re-poll
+			// (the hot unchanged path) never pays a query-string parse.
+			var waitStr string
+			if r.URL.RawQuery != "" {
+				waitStr = r.URL.Query().Get("wait")
+			}
+			if waitStr != "" {
+				d, err := time.ParseDuration(waitStr)
+				if err != nil || d < 0 {
+					writeError(w, http.StatusBadRequest, "bad wait %q: want a duration like 5s", waitStr)
+					return
+				}
+				if d > maxLongPoll {
+					d = maxLongPoll
+				}
+				s.stats.LongPollWaits.Add(1)
+				cur = s.waitForChange(r.Context(), sess, ifGen, d)
+				if cur == ifGen {
+					s.stats.LongPollTimeouts.Add(1)
+				}
+			}
+			if cur == ifGen {
+				s.writeNotModified(w, ifGen)
+				return
+			}
+		}
+		// The window moved (or never matched): serve the full snapshot.
+	}
+
 	ks, err := parseCuts(r.URL.Query()["k"])
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -331,10 +477,26 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	// The wire view is deterministic given (result, cuts), so reads of one
 	// generation share pre-marshaled bytes — built once even when a whole
 	// coalesced stampede wakes at the same instant.
-	body, err := sess.cache.body(gen, cutsKey(ks), func() ([]byte, error) {
+	body, err := s.snapshotBody(sess, res, gen, ks, cutsKey(ks))
+	if err != nil {
+		// Result-shaped client errors the pre-check didn't anticipate.
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("X-Pfg-Generation", strconv.FormatUint(gen, 10))
+	writeRawJSON(w, string(status), body)
+}
+
+// snapshotBody returns the pre-marshaled full response body for
+// (generation, cuts), building — and counting — the encode at most once per
+// stampede; the unmarshaled view is retained by the cache as the base for
+// the next generation's deltas. Shared by the GET path and the broadcaster,
+// so pollers and subscribers of one generation receive byte-identical bodies.
+func (s *Server) snapshotBody(sess *Session, res *pfg.Result, gen uint64, ks []int, key string) ([]byte, error) {
+	return sess.cache.body(gen, key, func() (*pfg.ResultJSON, []byte, error) {
 		view, err := res.JSON(ks, nil)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		b, err := json.Marshal(SnapshotResponse{
 			Session:    sess.ID,
@@ -344,16 +506,36 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 			Result:     view,
 		})
 		if err != nil {
+			return nil, nil, err
+		}
+		s.stats.SnapshotEncodes.Add(1)
+		return view, append(b, '\n'), nil
+	})
+}
+
+// snapshotDelta returns the marshaled DeltaResponse body from the previously
+// served generation to gen for this cut set, when the cache still holds the
+// base view and the two results are delta-comparable; (nil, 0, false) means
+// the caller must send the full body.
+func (s *Server) snapshotDelta(sess *Session, gen uint64, key string) ([]byte, uint64, bool) {
+	return sess.cache.deltaBody(gen, key, func(base, next *pfg.ResultJSON, fromGen uint64) ([]byte, error) {
+		d, err := base.Delta(next)
+		if err != nil {
+			return nil, err
+		}
+		b, err := json.Marshal(DeltaResponse{
+			Session:        sess.ID,
+			Method:         sess.cfg.Method.String(),
+			Window:         sess.cfg.Window,
+			FromGeneration: fromGen,
+			Generation:     gen,
+			Delta:          d,
+		})
+		if err != nil {
 			return nil, err
 		}
 		return append(b, '\n'), nil
 	})
-	if err != nil {
-		// Result-shaped client errors the pre-check didn't anticipate.
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	writeRawJSON(w, string(status), body)
 }
 
 // writeRawJSON writes a pre-marshaled 200 response with the cache status

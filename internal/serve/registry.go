@@ -53,6 +53,12 @@ type Session struct {
 	pushMu sync.Mutex
 	cache  snapCache
 
+	// bcast fans window updates out to the session's SSE subscribers; done is
+	// closed when the session is deleted (or the server shuts down) so event
+	// streams end promptly instead of waiting out their connections.
+	bcast broadcaster
+	done  chan struct{}
+
 	// ringReserved is the session's share of the aggregate ring-buffer
 	// budget, claimed at the first push; guarded by the registry mutex.
 	ringReserved int
@@ -105,6 +111,7 @@ type Registry struct {
 
 	workersInUse int // Σ cfg.Workers of live sessions
 	ringInUse    int // Σ ringReserved of live sessions
+	subsInUse    int // Σ live SSE subscribers across sessions
 }
 
 func newRegistry() *Registry {
@@ -137,6 +144,13 @@ const (
 	// maxTotalRingFloats caps Σ window×series across live sessions (4 GiB
 	// of float64 ring buffers), reserved at each session's first push.
 	maxTotalRingFloats = 1 << 29
+	// maxSessionSubscribers caps one session's concurrent SSE subscribers;
+	// each holds a connection, a goroutine, and a bounded event queue.
+	maxSessionSubscribers = 1024
+	// maxTotalSubscribers caps Σ subscribers across sessions, for the same
+	// reason maxTotalWorkers exists: per-session caps alone don't bound the
+	// process.
+	maxTotalSubscribers = 8192
 )
 
 // errTooManySessions distinguishes registry saturation (429) from
@@ -202,8 +216,9 @@ func (r *Registry) Create(id string, cfg SessionConfig) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	sess := &Session{ID: id, cfg: cfg, st: st}
+	sess := &Session{ID: id, cfg: cfg, st: st, done: make(chan struct{})}
 	sess.cache.init()
+	sess.bcast.init(sess)
 	if cfg.Workers > 0 {
 		r.workersInUse += cfg.Workers
 	}
@@ -232,6 +247,25 @@ func (r *Registry) releaseRing(s *Session) {
 	defer r.mu.Unlock()
 	r.ringInUse -= s.ringReserved
 	s.ringReserved = 0
+}
+
+// reserveSubscriber claims one slot of the aggregate subscriber budget
+// (the per-session cap is enforced by the broadcaster, which knows its own
+// roster); releaseSubscriber returns it.
+func (r *Registry) reserveSubscriber() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.subsInUse >= maxTotalSubscribers {
+		return false
+	}
+	r.subsInUse++
+	return true
+}
+
+func (r *Registry) releaseSubscriber() {
+	r.mu.Lock()
+	r.subsInUse--
+	r.mu.Unlock()
 }
 
 // errExists distinguishes the duplicate-id failure (409) from validation
@@ -281,6 +315,7 @@ func (r *Registry) Delete(id string) bool {
 	}
 	r.mu.Unlock()
 	if ok {
+		close(s.done)
 		s.st.Close()
 	}
 	return ok
@@ -296,6 +331,7 @@ func (r *Registry) closeAll() {
 	r.workersInUse, r.ringInUse = 0, 0
 	r.mu.Unlock()
 	for _, s := range sessions {
+		close(s.done)
 		s.st.Close()
 	}
 }

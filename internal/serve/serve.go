@@ -14,6 +14,15 @@
 // readers that cannot coalesce get 429 + Retry-After instead of queueing
 // without bound.
 //
+// On top of the pull path sits push-based delivery (see broadcast.go):
+// snapshot GETs accept an If-Generation precondition (header or
+// ?if_generation=) answered with a free 304 while the window is unchanged —
+// optionally parking up to ?wait= for the next generation (long-poll) — and
+// GET /v1/sessions/{id}/events serves a Server-Sent Events stream where one
+// generation bump costs one clustering run and one encode regardless of
+// subscriber count, with consecutive generations sent as sparse deltas
+// (pfg.ResultDeltaJSON) whenever that is smaller than the full body.
+//
 // Endpoints:
 //
 //	POST   /v1/sessions                 create a session
@@ -21,20 +30,25 @@
 //	GET    /v1/sessions/{id}            one session's state
 //	DELETE /v1/sessions/{id}            delete (closes the streamer)
 //	POST   /v1/sessions/{id}/push       ingest ticks  {"sample":[...]} or {"samples":[[...],...]}
-//	GET    /v1/sessions/{id}/snapshot   cluster the window  ?k=8 or ?k=2,8 for flat cuts
+//	GET    /v1/sessions/{id}/snapshot   cluster the window  ?k=8 or ?k=2,8 for flat cuts;
+//	                                    If-Generation / ?if_generation= + ?wait= for conditional reads
+//	GET    /v1/sessions/{id}/events     SSE subscription: snapshot/delta/dropped/bye events
 //	GET    /healthz                     liveness
 //	GET    /statsz                      counters, latencies, per-session state
 //
-// Shutdown order for embedders: stop the listener with http.Server.Shutdown
-// (drains in-flight requests, including coalesced snapshot waits), then call
-// Server.Close to cancel any still-running clustering computations and close
-// every session. pfg-serve wires exactly that sequence to SIGINT/SIGTERM.
+// Shutdown order for embedders: call Server.Drain (ends event streams and
+// parked long-polls — otherwise Shutdown waits on them forever), then stop
+// the listener with http.Server.Shutdown (drains in-flight requests,
+// including coalesced snapshot waits), then call Server.Close to cancel any
+// still-running clustering computations and close every session. pfg-serve
+// wires exactly that sequence to SIGINT/SIGTERM.
 package serve
 
 import (
 	"context"
 	"net/http"
 	"runtime"
+	"sync"
 	"time"
 )
 
@@ -63,6 +77,13 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	start   time.Time
+
+	// drainCh is closed by Drain: event streams end with a "bye" frame and
+	// parked long-polls return, so http.Server.Shutdown (which waits for
+	// in-flight requests, and an SSE stream is one endless in-flight
+	// request) can complete.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // New creates a Server.
@@ -81,10 +102,15 @@ func New(opts Options) *Server {
 		baseCtx: ctx,
 		cancel:  cancel,
 		start:   time.Now(),
+		drainCh: make(chan struct{}),
 	}
 }
 
-// Handler returns the server's HTTP routing table.
+// Handler returns the server's HTTP routing table, fronted by a fast path
+// for the hottest request in a re-poll storm: a header-conditional snapshot
+// GET whose generation still matches is answered 304 before the router's
+// path parsing (see tryNotModifiedFast). Every other request — including
+// every conditional read that must serve a body — takes the routed path.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -95,7 +121,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDelete)
 	mux.HandleFunc("POST /v1/sessions/{id}/push", s.handlePush)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSnapshot)
-	return mux
+	mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleEvents)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.tryNotModifiedFast(w, r) {
+			return
+		}
+		mux.ServeHTTP(w, r)
+	})
 }
 
 // Stats exposes the counter set (read with atomic Loads; also served as
@@ -106,11 +138,22 @@ func (s *Server) Stats() *Stats { return &s.stats }
 // sessions programmatically.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Drain ends the server's open push-delivery work: every SSE event stream
+// closes with a terminal "bye" frame and every parked long-poll returns
+// 304, so a subsequent http.Server.Shutdown — which waits for in-flight
+// requests, and an event stream is one endless in-flight request — can
+// complete. New event subscriptions are refused with 503 once draining.
+// Idempotent; Close calls it implicitly.
+func (s *Server) Drain() {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+}
+
 // Close cancels in-flight clustering computations and closes every session.
-// Call it after the HTTP listener has drained (http.Server.Shutdown);
-// requests arriving afterwards are refused cleanly (sessions report
-// pfg.ErrClosed → 410, creates fail).
+// Call it after the HTTP listener has drained (Drain, then
+// http.Server.Shutdown); requests arriving afterwards are refused cleanly
+// (sessions report pfg.ErrClosed → 410, creates fail).
 func (s *Server) Close() {
+	s.Drain()
 	s.cancel()
 	s.reg.closeAll()
 }

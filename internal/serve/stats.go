@@ -25,6 +25,23 @@ type Stats struct {
 	SnapshotErrors    atomic.Uint64 // runs or waits that ended in an error
 	SnapshotRejected  atomic.Uint64 // 429s from admission control
 	SnapshotRunNanos  atomic.Int64  // total wall time of clustering runs
+	SnapshotEncodes   atomic.Uint64 // full response bodies actually marshaled (misses of the body cache)
+
+	// Push-delivery counters: conditional reads, long-polls, and the SSE
+	// subscription fan-out.
+	ConditionalRequests atomic.Uint64 // snapshot GETs carrying If-Generation
+	NotModified         atomic.Uint64 // free 304s (generation unchanged)
+	LongPollWaits       atomic.Uint64 // requests that parked on the generation watch
+	LongPollTimeouts    atomic.Uint64 // parked requests that timed out into a 304
+
+	Subscribers        atomic.Int64  // current SSE subscribers (gauge)
+	SubscribeRejected  atomic.Uint64 // subscriptions refused by the subscriber ceilings
+	EventsDelta        atomic.Uint64 // delta events delivered
+	EventsFull         atomic.Uint64 // full snapshot events delivered
+	EventsDropped      atomic.Uint64 // updates discarded by slow-subscriber drop-to-latest
+	EventBytes         atomic.Uint64 // bytes written to event streams
+	EventBytesSaved    atomic.Uint64 // Σ (full frame − sent frame) over delta deliveries
+	DeltaFallbackFulls atomic.Uint64 // deliveries that wanted a delta but fell back to full
 }
 
 // StatsSnapshot is the wire form of GET /statsz: the counter values at one
@@ -50,6 +67,22 @@ type StatsSnapshot struct {
 	SnapshotErrors    uint64  `json:"snapshot_errors"`
 	SnapshotRejected  uint64  `json:"snapshot_rejected"`
 	SnapshotRunMeanMs float64 `json:"snapshot_run_mean_ms"`
+	SnapshotEncodes   uint64  `json:"snapshot_encodes"`
+
+	ConditionalRequests uint64 `json:"conditional_requests"`
+	NotModified         uint64 `json:"not_modified"`
+	LongPollWaits       uint64 `json:"long_poll_waits"`
+	LongPollTimeouts    uint64 `json:"long_poll_timeouts"`
+
+	Subscribers        int64   `json:"subscribers"`
+	SubscribeRejected  uint64  `json:"subscribe_rejected"`
+	EventsDelta        uint64  `json:"events_delta"`
+	EventsFull         uint64  `json:"events_full"`
+	EventsDropped      uint64  `json:"events_dropped"`
+	EventBytes         uint64  `json:"event_bytes"`
+	EventBytesSaved    uint64  `json:"event_bytes_saved"`
+	DeltaFallbackFulls uint64  `json:"delta_fallback_fulls"`
+	DeltaRatio         float64 `json:"delta_ratio"` // delta events / all delivered events
 
 	// Incremental serving-layer totals, summed over live incremental
 	// sessions at read time (a deleted session's history leaves the totals):
@@ -81,12 +114,30 @@ func (st *Stats) view() StatsSnapshot {
 		SnapshotRuns:      st.SnapshotRuns.Load(),
 		SnapshotErrors:    st.SnapshotErrors.Load(),
 		SnapshotRejected:  st.SnapshotRejected.Load(),
+		SnapshotEncodes:   st.SnapshotEncodes.Load(),
+
+		ConditionalRequests: st.ConditionalRequests.Load(),
+		NotModified:         st.NotModified.Load(),
+		LongPollWaits:       st.LongPollWaits.Load(),
+		LongPollTimeouts:    st.LongPollTimeouts.Load(),
+
+		Subscribers:        st.Subscribers.Load(),
+		SubscribeRejected:  st.SubscribeRejected.Load(),
+		EventsDelta:        st.EventsDelta.Load(),
+		EventsFull:         st.EventsFull.Load(),
+		EventsDropped:      st.EventsDropped.Load(),
+		EventBytes:         st.EventBytes.Load(),
+		EventBytesSaved:    st.EventBytesSaved.Load(),
+		DeltaFallbackFulls: st.DeltaFallbackFulls.Load(),
 	}
 	if v.TicksPushed > 0 {
 		v.PushMeanUs = float64(st.PushNanos.Load()) / float64(v.TicksPushed) / 1e3
 	}
 	if v.SnapshotRuns > 0 {
 		v.SnapshotRunMeanMs = float64(st.SnapshotRunNanos.Load()) / float64(v.SnapshotRuns) / 1e6
+	}
+	if delivered := v.EventsDelta + v.EventsFull; delivered > 0 {
+		v.DeltaRatio = float64(v.EventsDelta) / float64(delivered)
 	}
 	return v
 }

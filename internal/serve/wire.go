@@ -133,6 +133,33 @@ type SnapshotResponse struct {
 	Result     *pfg.ResultJSON `json:"result"`
 }
 
+// DeltaResponse is the data payload of a "delta" event on
+// GET /v1/sessions/{id}/events: the sparse change set transforming the
+// subscriber's view at FromGeneration into the view at Generation. A client
+// applies it with pfg's ResultJSON.ApplyDelta; the reconstruction is
+// byte-identical to the full SnapshotResponse.Result of Generation. A
+// subscriber whose last delivered generation is not FromGeneration (it just
+// subscribed, or events were dropped) receives a full "snapshot" event
+// instead — deltas only ever chain consecutively served generations.
+type DeltaResponse struct {
+	Session string `json:"session"`
+	Method  string `json:"method"`
+	Window  int    `json:"window"`
+	// FromGeneration is the base the delta applies to; Generation is the
+	// window state it reconstructs.
+	FromGeneration uint64               `json:"from_generation"`
+	Generation     uint64               `json:"generation"`
+	Delta          *pfg.ResultDeltaJSON `json:"delta"`
+}
+
+// DroppedEvent is the data payload of a "dropped" event: the subscriber's
+// bounded queue overflowed and Dropped updates were discarded (drop-to-
+// latest). The next "snapshot" event re-bases the client; deltas resume
+// from there.
+type DroppedEvent struct {
+	Dropped uint64 `json:"dropped"`
+}
+
 // ErrorResponse is the body of every non-2xx response.
 type ErrorResponse struct {
 	Error string `json:"error"`

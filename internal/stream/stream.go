@@ -160,8 +160,9 @@ type Engine struct {
 
 	s []float64 // n rolling sums — float64 in both modes
 
-	maxMag float64 // sample magnitude bound keeping the band finite
-	w      *ws.Workspace
+	maxMag  float64 // sample magnitude bound keeping the band finite
+	w       *ws.Workspace
+	genHook func() // called synchronously after every generation advance (nil = none)
 }
 
 // New creates an engine for n series over the given window in the given
@@ -260,6 +261,26 @@ func (e *Engine) SlidesSinceRebuild() int { return e.slides }
 // until Generation() moves past g.
 func (e *Engine) Generation() uint64 { return e.gen }
 
+// SetGenHook registers fn to be called synchronously, on the writer's
+// goroutine, after every Generation advance — the watch hook push-based
+// serving layers key broadcasts on. Because the hook runs inside Push and
+// Rebuild (typically under whatever write lock the caller serializes writers
+// with), it must be fast and must not call back into the engine or block;
+// closing-and-replacing a notification channel is the intended shape. A nil
+// fn clears the hook.
+func (e *Engine) SetGenHook(fn func()) { e.genHook = fn }
+
+// bumpGen advances the generation stamp and fires the watch hook. Every
+// snapshot-visible state change goes through it, so a hook observer can never
+// miss a generation — including the double advance of a Push that triggers a
+// periodic rebuild.
+func (e *Engine) bumpGen() {
+	e.gen++
+	if e.genHook != nil {
+		e.genHook()
+	}
+}
+
 // Push admits one sample (one observation per series) into the window,
 // updating the moments in O(n²). The sample is validated before any state
 // changes — non-finite values and magnitudes large enough to overflow the
@@ -310,7 +331,7 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		e.advanceHead()
 		e.dirty = true
 		e.slides++
-		e.gen++
+		e.bumpGen()
 		e.maybeRebuild(ctx, pool)
 		return nil
 	}
@@ -361,7 +382,7 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 	copy(slot, x)
 	e.advanceHead()
 	e.count++
-	e.gen++
+	e.bumpGen()
 	return nil
 }
 
@@ -389,7 +410,7 @@ func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error
 		e.advanceHead()
 		e.dirty = true
 		e.slides++
-		e.gen++
+		e.bumpGen()
 		e.maybeRebuild(ctx, pool)
 		return nil
 	}
@@ -405,7 +426,7 @@ func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error
 	copy(slot, e.x32)
 	e.advanceHead()
 	e.count++
-	e.gen++
+	e.bumpGen()
 	return nil
 }
 
@@ -499,7 +520,7 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 		// bits may have moved: stamp a new generation. A rebuild of an
 		// already-exact state reproduces the moments bit-for-bit and keeps
 		// the generation, so caches stay warm across redundant rebuilds.
-		e.gen++
+		e.bumpGen()
 	}
 	e.slides, e.dirty, e.corrupt = 0, false, false
 	return nil
@@ -527,7 +548,7 @@ func (e *Engine) rebuild32(ctx context.Context, pool *exec.Pool) error {
 		return err
 	}
 	if e.dirty || e.corrupt {
-		e.gen++
+		e.bumpGen()
 	}
 	e.slides, e.dirty, e.corrupt = 0, false, false
 	return nil

@@ -206,6 +206,222 @@ func (r *Result) JSON(cuts []int, names []string) (*ResultJSON, error) {
 	return v, nil
 }
 
+// ResultDeltaVersion is the format version stamped into every
+// ResultDeltaJSON (the "v" field). Consumers must reject versions they do
+// not understand instead of guessing.
+const ResultDeltaVersion = 1
+
+// ResultDeltaJSON is the versioned delta wire form between two ResultJSON
+// views of the same session — typically consecutive served generations of a
+// streaming window, where label moves and filtered-graph edge churn per tick
+// are small. It is designed for exact reconstruction: applying a delta to
+// the base view it was computed from (ApplyDelta) yields a view that
+// marshals byte-identically to the full next view, so push-based serving
+// layers can fan out tiny deltas instead of full snapshot bodies without
+// weakening any bit-level guarantee.
+//
+// Scalars (edge weight, group count, staleness) are carried as absolute
+// values — they are a few bytes either way. Structural fields are sparse:
+// edge changes against the canonical sorted edge list, label reassignments
+// as index→label pairs per cut, and the Newick tree only when it changed at
+// all (heights included — DBHT heights are ordinal, so a topologically
+// stable tick usually changes nothing).
+type ResultDeltaJSON struct {
+	// V is the delta format version (ResultDeltaVersion).
+	V int `json:"v"`
+	// N is the number of clustered objects; it must match the base view's.
+	N int `json:"n"`
+	// EdgeWeightSum and Groups are the next view's absolute values.
+	EdgeWeightSum float64 `json:"edge_weight_sum"`
+	Groups        int     `json:"groups"`
+	// EdgesAdded and EdgesRemoved transform the base view's canonical
+	// (u < v, lexicographically sorted) edge list into the next view's; both
+	// lists are themselves in canonical order.
+	EdgesAdded   [][2]int32 `json:"edges_added,omitempty"`
+	EdgesRemoved [][2]int32 `json:"edges_removed,omitempty"`
+	// Newick is the next view's full tree, present only when it differs from
+	// the base view's (an empty string means "unchanged" — a real Newick
+	// serialization is never empty).
+	Newick string `json:"newick,omitempty"`
+	// CutMoves maps a cut's decimal cluster count to the sparse label
+	// reassignments [index, newLabel] at that cut, in ascending index order.
+	// Cuts whose labels did not change are absent; the base and next views
+	// must carry identical cut-key sets.
+	CutMoves map[string][][2]int `json:"cut_moves,omitempty"`
+	// StaleTicks and Drift are the next view's absolute staleness metadata.
+	StaleTicks int     `json:"stale_ticks,omitempty"`
+	Drift      float64 `json:"drift,omitempty"`
+}
+
+// Delta computes the sparse delta that transforms the receiver (the base
+// view) into next. The two views must be comparable: same object count,
+// same method family (both with or both without a filtered-graph edge
+// list), and identical cut-key sets — a serving layer that cannot satisfy
+// that (e.g. the base generation was evicted) falls back to sending the
+// full view. The receiver and next are not mutated and may be shared.
+func (r *ResultJSON) Delta(next *ResultJSON) (*ResultDeltaJSON, error) {
+	if next.N != r.N {
+		return nil, fmt.Errorf("pfg: delta base has n=%d, next has n=%d", r.N, next.N)
+	}
+	if (r.Edges == nil) != (next.Edges == nil) {
+		return nil, fmt.Errorf("pfg: delta base and next disagree on having a filtered-graph edge list")
+	}
+	if len(r.Cuts) != len(next.Cuts) {
+		return nil, fmt.Errorf("pfg: delta base has %d cuts, next has %d", len(r.Cuts), len(next.Cuts))
+	}
+	d := &ResultDeltaJSON{
+		V:             ResultDeltaVersion,
+		N:             next.N,
+		EdgeWeightSum: next.EdgeWeightSum,
+		Groups:        next.Groups,
+		StaleTicks:    next.StaleTicks,
+		Drift:         next.Drift,
+	}
+	if next.Newick != r.Newick {
+		d.Newick = next.Newick
+	}
+	// Both edge lists are canonically sorted (a ResultJSON invariant), so
+	// one merge walk yields both change lists in canonical order.
+	i, j := 0, 0
+	for i < len(r.Edges) && j < len(next.Edges) {
+		switch cmpEdge(r.Edges[i], next.Edges[j]) {
+		case 0:
+			i++
+			j++
+		case -1:
+			d.EdgesRemoved = append(d.EdgesRemoved, r.Edges[i])
+			i++
+		default:
+			d.EdgesAdded = append(d.EdgesAdded, next.Edges[j])
+			j++
+		}
+	}
+	d.EdgesRemoved = append(d.EdgesRemoved, r.Edges[i:]...)
+	d.EdgesAdded = append(d.EdgesAdded, next.Edges[j:]...)
+	for k, nextLabels := range next.Cuts {
+		baseLabels, ok := r.Cuts[k]
+		if !ok {
+			return nil, fmt.Errorf("pfg: delta next has cut %q, base does not", k)
+		}
+		if len(baseLabels) != len(nextLabels) {
+			return nil, fmt.Errorf("pfg: cut %q has %d labels in base, %d in next", k, len(baseLabels), len(nextLabels))
+		}
+		var moves [][2]int
+		for idx, l := range nextLabels {
+			if baseLabels[idx] != l {
+				moves = append(moves, [2]int{idx, l})
+			}
+		}
+		if moves != nil {
+			if d.CutMoves == nil {
+				d.CutMoves = make(map[string][][2]int)
+			}
+			d.CutMoves[k] = moves
+		}
+	}
+	return d, nil
+}
+
+// ApplyDelta reconstructs the next view from the receiver (the base view the
+// delta was computed from) and the delta: the returned view marshals
+// byte-identically to the full next view. The receiver is not mutated;
+// unchanged slices are shared with it, so treat both views as immutable. A
+// delta that does not belong to this base (version or shape mismatch, an
+// edge removal or cut move that does not apply cleanly) is an error — the
+// caller should refetch a full snapshot rather than guess.
+func (r *ResultJSON) ApplyDelta(d *ResultDeltaJSON) (*ResultJSON, error) {
+	if d.V != ResultDeltaVersion {
+		return nil, fmt.Errorf("pfg: unknown delta version %d (want %d)", d.V, ResultDeltaVersion)
+	}
+	if d.N != r.N {
+		return nil, fmt.Errorf("pfg: delta is for n=%d, base has n=%d", d.N, r.N)
+	}
+	out := &ResultJSON{
+		N:             r.N,
+		EdgeWeightSum: d.EdgeWeightSum,
+		Groups:        d.Groups,
+		Newick:        r.Newick,
+		StaleTicks:    d.StaleTicks,
+		Drift:         d.Drift,
+	}
+	if d.Newick != "" {
+		out.Newick = d.Newick
+	}
+	out.Edges = r.Edges
+	if len(d.EdgesAdded) > 0 || len(d.EdgesRemoved) > 0 {
+		if r.Edges == nil {
+			return nil, fmt.Errorf("pfg: delta carries edge changes, base has no edge list")
+		}
+		kept := make([][2]int32, 0, len(r.Edges)-len(d.EdgesRemoved)+len(d.EdgesAdded))
+		ri := 0
+		for _, e := range r.Edges {
+			if ri < len(d.EdgesRemoved) && d.EdgesRemoved[ri] == e {
+				ri++
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if ri != len(d.EdgesRemoved) {
+			return nil, fmt.Errorf("pfg: delta removes edge %v not present in the base", d.EdgesRemoved[ri])
+		}
+		// Merge the added edges back in canonical order; a duplicate means
+		// the delta does not belong to this base.
+		merged := make([][2]int32, 0, len(kept)+len(d.EdgesAdded))
+		ai := 0
+		for _, e := range kept {
+			for ai < len(d.EdgesAdded) && cmpEdge(d.EdgesAdded[ai], e) < 0 {
+				merged = append(merged, d.EdgesAdded[ai])
+				ai++
+			}
+			if ai < len(d.EdgesAdded) && d.EdgesAdded[ai] == e {
+				return nil, fmt.Errorf("pfg: delta adds edge %v already present in the base", e)
+			}
+			merged = append(merged, e)
+		}
+		merged = append(merged, d.EdgesAdded[ai:]...)
+		out.Edges = merged
+	}
+	out.Cuts = r.Cuts
+	if len(d.CutMoves) > 0 {
+		out.Cuts = make(map[string][]int, len(r.Cuts))
+		for k, labels := range r.Cuts {
+			out.Cuts[k] = labels
+		}
+		for k, moves := range d.CutMoves {
+			base, ok := r.Cuts[k]
+			if !ok {
+				return nil, fmt.Errorf("pfg: delta moves labels of cut %q, base does not have it", k)
+			}
+			labels := slices.Clone(base)
+			for _, mv := range moves {
+				if mv[0] < 0 || mv[0] >= len(labels) {
+					return nil, fmt.Errorf("pfg: delta cut %q moves index %d out of range [0,%d)", k, mv[0], len(labels))
+				}
+				labels[mv[0]] = mv[1]
+			}
+			out.Cuts[k] = labels
+		}
+	}
+	return out, nil
+}
+
+// cmpEdge orders canonical edges lexicographically.
+func cmpEdge(a, b [2]int32) int {
+	if a[0] != b[0] {
+		if a[0] < b[0] {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a[1] < b[1]:
+		return -1
+	case a[1] > b[1]:
+		return 1
+	}
+	return 0
+}
+
 // Pearson computes the Pearson correlation matrix of a time-series
 // collection (one row per series, equal lengths).
 func Pearson(series [][]float64) (*Matrix, error) { return matrix.Pearson(series) }
@@ -537,6 +753,13 @@ type Streamer struct {
 	eng     *stream.Engine // created by the first Push
 	inc     *inc.Manager   // non-nil iff Incremental.Enabled
 	closed  bool
+
+	// watchMu guards watchCh, the close-and-replace notification channel
+	// behind Watch. It is separate from mu because the engine's generation
+	// hook fires while mu is write-held, and Watch readers must be able to
+	// fetch the channel without contending on the streamer lock.
+	watchMu sync.Mutex
+	watchCh chan struct{}
 }
 
 // NewStreamer creates a streamer over a rolling window of the given length
@@ -551,7 +774,7 @@ func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
 	if opts.RebuildEvery == 0 {
 		opts.RebuildEvery = DefaultRebuildEvery
 	}
-	st := &Streamer{window: window, opts: opts, w: ws.New()}
+	st := &Streamer{window: window, opts: opts, w: ws.New(), watchCh: make(chan struct{})}
 	if opts.Incremental.Enabled {
 		cfg := inc.Config{
 			DriftThreshold: opts.Incremental.DriftThreshold,
@@ -607,6 +830,7 @@ func (st *Streamer) Push(sample []float64) error {
 		if err != nil {
 			return err
 		}
+		eng.SetGenHook(st.notifyWatch)
 		if err := eng.Push(context.Background(), st.pool, sample); err != nil {
 			eng.Release()
 			return err
@@ -764,6 +988,33 @@ func (st *Streamer) Generation() uint64 {
 	return st.eng.Generation()
 }
 
+// notifyWatch wakes every goroutine parked on the current watch channel by
+// closing it and installing a fresh one. It is the streamer's generation
+// hook (fired by the engine on every Generation advance, including the
+// double bump of a push that triggers a periodic rebuild) and is also fired
+// once by Close so watchers re-check state and observe ErrClosed.
+func (st *Streamer) notifyWatch() {
+	st.watchMu.Lock()
+	close(st.watchCh)
+	st.watchCh = make(chan struct{})
+	st.watchMu.Unlock()
+}
+
+// Watch returns the current generation together with a channel that is
+// closed the next time the generation advances (or the streamer is closed).
+// The channel is fetched before the generation is read, so a bump can never
+// fall between the two: if the state moves after the read, the returned
+// channel is already closed (or about to be). The intended shape is a loop —
+// read Watch, act if the generation moved past what you have, otherwise park
+// on the channel — which is exactly how the serving layer's long-polls and
+// SSE broadcasters wait for pushes without polling.
+func (st *Streamer) Watch() (uint64, <-chan struct{}) {
+	st.watchMu.Lock()
+	ch := st.watchCh
+	st.watchMu.Unlock()
+	return st.Generation(), ch
+}
+
 // Exact reports whether the next Snapshot is guaranteed bit-identical to a
 // batch Cluster over the same window (true while the window is filling and
 // right after a rebuild).
@@ -808,6 +1059,10 @@ func (st *Streamer) Close() {
 	if st.ownPool {
 		st.pool.Close()
 	}
+	// Wake watchers so they re-read state and see the closed streamer
+	// (Generation now reports 0, snapshots return ErrClosed) instead of
+	// parking forever on a channel no push will ever close.
+	st.notifyWatch()
 }
 
 // ARI computes the Adjusted Rand Index between two flat clusterings.
