@@ -5,6 +5,7 @@
 // Usage:
 //
 //	pfg-serve [-addr :8866] [-max-inflight N] [-max-body-bytes B] [-drain 10s]
+//	          [-state-dir DIR] [-checkpoint-every N] [-fsync batch|always|none]
 //
 // Endpoints (see internal/serve for the wire contract):
 //
@@ -23,6 +24,13 @@
 // 429 + Retry-After. On SIGINT/SIGTERM the server stops accepting
 // connections, drains in-flight requests for up to -drain, then cancels any
 // still-running computations and exits.
+//
+// With -state-dir set, sessions are durable: each one checkpoints its full
+// window state every -checkpoint-every pushes and write-ahead-logs the
+// pushes in between (fsync per the -fsync policy), the drain sequence takes
+// a final checkpoint of every session, and the next start with the same
+// -state-dir restores them — same generations, byte-identical snapshots —
+// whether the previous process drained cleanly or was killed outright.
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"pfg"
+	"pfg/internal/ckpt"
 	"pfg/internal/serve"
 )
 
@@ -45,14 +54,37 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent snapshot clustering runs (0 = GOMAXPROCS)")
 	maxBody := flag.Int64("max-body-bytes", 0, "request body size cap in bytes (0 = 8 MiB)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	stateDir := flag.String("state-dir", "", "session durability directory (empty = sessions die with the process)")
+	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in admitted pushes per session (0 = 64)")
+	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch (per push request), always (per tick), none")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pfg-serve [flags]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	fsync, err := ckpt.ParseSyncPolicy(*fsyncMode)
+	if err != nil {
+		fatal(err)
+	}
 
-	srv := serve.New(serve.Options{MaxInflight: *maxInflight, MaxBodyBytes: *maxBody})
+	srv := serve.New(serve.Options{
+		MaxInflight:     *maxInflight,
+		MaxBodyBytes:    *maxBody,
+		StateDir:        *stateDir,
+		CheckpointEvery: *ckptEvery,
+		Fsync:           fsync,
+	})
+	if *stateDir != "" {
+		// Boot-time recovery: restore every session the previous process
+		// left behind (final checkpoints from a clean drain, or checkpoint
+		// + WAL replay after a hard kill) before accepting traffic.
+		n, err := srv.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pfg-serve: recovered %d session(s) from %s\n", n, *stateDir)
+	}
 	hs := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -61,9 +93,9 @@ func main() {
 	// Listen explicitly (rather than ListenAndServe) so the resolved
 	// address — in particular a :0-assigned port — can be announced; the
 	// smoke tests and scripts scrape it.
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		fatal(err)
+	ln, lnErr := net.Listen("tcp", *addr)
+	if lnErr != nil {
+		fatal(lnErr)
 	}
 	// The kernel line is informational; the "listening on" line below is a
 	// scraped interface (smoke tests and scripts parse the address) and must
@@ -94,6 +126,13 @@ func main() {
 	defer cancel()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		fmt.Fprintln(os.Stderr, "pfg-serve: drain incomplete:", err)
+	}
+	if *stateDir != "" {
+		// The listener has drained, so no push is in flight: the final
+		// checkpoints capture every session's landing state, and the next
+		// boot recovers with nothing to replay.
+		n := srv.CheckpointAll()
+		fmt.Fprintf(os.Stderr, "pfg-serve: checkpointed %d session(s)\n", n)
 	}
 	srv.Close()
 }

@@ -34,10 +34,12 @@ func buildBinary(t *testing.T) string {
 }
 
 // startServer launches the binary on an ephemeral port and returns its base
-// URL plus the running command (for the shutdown test).
-func startServer(t *testing.T, bin string) (string, *exec.Cmd) {
+// URL plus the running command (for the shutdown and restart tests). Extra
+// flags (e.g. -state-dir) are appended to the baseline ones.
+func startServer(t *testing.T, bin string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -315,5 +317,151 @@ func TestServePushDelivery(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not exit after SIGTERM with an open event stream")
+	}
+}
+
+// getBody fetches a URL and returns the raw response bytes — the unit of the
+// restart tests' byte-identity assertions.
+func getBody(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d, body %s", url, resp.StatusCode, buf.Bytes())
+	}
+	return buf.Bytes()
+}
+
+// restartTicks is the deterministic feed shared by both restart tests.
+func restartTicks(t *testing.T, n, count int) [][]float64 {
+	t.Helper()
+	ds := tsgen.GenerateClassed("restart", n, count, 3, 0.4, 11)
+	samples := make([][]float64, count)
+	for k := range samples {
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = ds.Series[i][k]
+		}
+		samples[k] = x
+	}
+	return samples
+}
+
+// setupRestartSession creates the durable test session and pushes ticks in
+// two batches sized so the second stays under the checkpoint cadence — its
+// frames exist only in the WAL when the process dies.
+func setupRestartSession(t *testing.T, base string, samples [][]float64) (gen uint64, body []byte) {
+	t.Helper()
+	postJSON(t, base+"/v1/sessions", map[string]any{
+		"id": "restart", "window": 16, "workers": 1, "rebuild_every": 64,
+	}, http.StatusCreated, nil)
+	var push struct {
+		Generation uint64 `json:"generation"`
+	}
+	postJSON(t, base+"/v1/sessions/restart/push", map[string]any{"samples": samples[:9]}, http.StatusOK, &push)
+	postJSON(t, base+"/v1/sessions/restart/push", map[string]any{"samples": samples[9:14]}, http.StatusOK, &push)
+	if push.Generation != 14 {
+		t.Fatalf("generation %d after 14 pushes", push.Generation)
+	}
+	return push.Generation, getBody(t, base+"/v1/sessions/restart/snapshot?k=3")
+}
+
+// assertRecovered checks the relaunched server resumed the session at the
+// expected generation with a byte-identical snapshot body.
+func assertRecovered(t *testing.T, base string, wantGen uint64, wantBody []byte) {
+	t.Helper()
+	var info struct {
+		Generation uint64 `json:"generation"`
+		Len        int    `json:"len"`
+	}
+	getJSON(t, base+"/v1/sessions/restart", &info)
+	if info.Generation != wantGen {
+		t.Fatalf("recovered at generation %d, want %d", info.Generation, wantGen)
+	}
+	if got := getBody(t, base+"/v1/sessions/restart/snapshot?k=3"); !bytes.Equal(got, wantBody) {
+		t.Fatalf("recovered snapshot body diverges:\n%s\nvs\n%s", got, wantBody)
+	}
+}
+
+// TestServeRestart is the zero-downtime path against the real binary:
+// create, push, SIGTERM (drain takes a final checkpoint), relaunch on the
+// same -state-dir — same generation, byte-identical snapshot, nothing
+// replayed.
+func TestServeRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped under -short; run by the dedicated smoke step")
+	}
+	bin := buildBinary(t)
+	stateDir := t.TempDir()
+	flags := []string{"-state-dir", stateDir, "-checkpoint-every", "6"}
+	base, cmd := startServer(t, bin, flags...)
+	samples := restartTicks(t, 12, 14)
+	gen, body := setupRestartSession(t, base, samples)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("SIGTERM exit: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after SIGTERM")
+	}
+
+	base2, _ := startServer(t, bin, flags...)
+	assertRecovered(t, base2, gen, body)
+	var stats struct {
+		Recovered uint64 `json:"recovered_sessions"`
+		Replayed  uint64 `json:"wal_replayed_frames"`
+	}
+	getJSON(t, base2+"/statsz", &stats)
+	if stats.Recovered != 1 {
+		t.Fatalf("recovered_sessions = %d", stats.Recovered)
+	}
+	if stats.Replayed != 0 {
+		t.Fatalf("clean drain still replayed %d frames", stats.Replayed)
+	}
+}
+
+// TestServeRestartKill is the crash path: SIGKILL (no drain, no final
+// checkpoint), relaunch — recovery comes from the last periodic checkpoint
+// plus WAL replay and must land on the same generation and bytes.
+func TestServeRestartKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped under -short; run by the dedicated smoke step")
+	}
+	bin := buildBinary(t)
+	stateDir := t.TempDir()
+	flags := []string{"-state-dir", stateDir, "-checkpoint-every", "6"}
+	base, cmd := startServer(t, bin, flags...)
+	samples := restartTicks(t, 12, 14)
+	gen, body := setupRestartSession(t, base, samples)
+
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // non-zero exit expected
+
+	base2, _ := startServer(t, bin, flags...)
+	assertRecovered(t, base2, gen, body)
+	var stats struct {
+		Recovered uint64 `json:"recovered_sessions"`
+		Replayed  uint64 `json:"wal_replayed_frames"`
+	}
+	getJSON(t, base2+"/statsz", &stats)
+	if stats.Recovered != 1 {
+		t.Fatalf("recovered_sessions = %d", stats.Recovered)
+	}
+	if stats.Replayed == 0 {
+		t.Fatal("hard kill recovered without WAL replay")
 	}
 }

@@ -50,7 +50,10 @@
 // worker-count independent within the mode). The layer stack becomes
 //
 //	http        cmd/pfg-serve + internal/serve (multi-session JSON API,
-//	            coalesced generation-keyed snapshot cache, admission control)
+//	            coalesced generation-keyed snapshot cache, admission
+//	            control, durable sessions with boot recovery)
+//	durability  internal/ckpt (versioned CRC32C-framed checkpoints,
+//	            segment-rotating push WAL, torn-tail-tolerant replay)
 //	serving     pfg.Streamer + internal/stream + internal/inc (stateful
 //	            rolling windows, cross-tick incremental clustering)
 //	api         pfg.Cluster / ClusterContext (stateless batch calls)
@@ -80,6 +83,32 @@
 // ago. Streamer.IncrementalStats counts gate outcomes; BENCH_incr.json
 // records the amortized speedups with the exact fallbacks inside the
 // measured loop.
+//
+// # Durability
+//
+// Streamer.Checkpoint serializes the full window state — configuration,
+// moment sums, ring, cross-product band, in either precision — into a
+// versioned, CRC32C-framed binary form (internal/ckpt, format v1), and
+// RestoreStreamer reconstructs a streamer from it that resumes at the
+// checkpointed generation with bit-identical (Workers:1) snapshots: the
+// restored streamer's next Push and Snapshot behave exactly as the
+// original's would have. Encoding is one pass with O(1) allocations
+// (BENCH_ckpt.json); decoding rejects truncated or corrupted input with
+// the typed sentinels ckpt.ErrBadMagic / ErrVersion / ErrCorrupt /
+// ErrFormat and never panics or over-allocates on crafted headers. The
+// incremental layer's warm reference is a cache, not state — it is not
+// persisted, so the first snapshot after a restore is an exact
+// re-cluster (TicksSinceExact 0) and the gate trajectory matches from
+// then on.
+//
+// pfg-serve builds session durability on this: with -state-dir set, each
+// session checkpoints every -checkpoint-every admitted pushes and
+// write-ahead-logs the pushes in between (fsync policy per -fsync);
+// checkpoint writes are atomic, a checkpoint rotates the WAL, and boot
+// recovery replays the newest usable checkpoint plus the WAL up to any
+// torn tail. README.md ("Durability") documents the file layout and
+// recovery semantics; internal/ckpt/crash_test.go is the crash-injection
+// harness that pins byte-identical recovery at every frame boundary.
 //
 // # Wire form
 //

@@ -1,0 +1,121 @@
+package ckpt
+
+// Golden wire-format corpus: deterministic engines whose exact checkpoint
+// bytes are pinned under testdata/ckpt/. The checkpoint format is a
+// compatibility surface — files written by one build must restore under
+// every later build of the same FormatVersion — so any refactor that moves
+// a single wire byte shows up here as a golden diff instead of a silent
+// format fork. The decode direction doubles as the backward-compatibility
+// gate: every committed fixture must still restore bit-identically.
+//
+// Regenerate intentionally with:
+//
+//	go test -run TestGoldenCheckpoint -update ./internal/ckpt/
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"pfg/internal/exec"
+	"pfg/internal/stream"
+	"pfg/internal/ws"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/ckpt/ instead of comparing")
+
+type goldenCase struct {
+	name         string
+	n, window    int
+	rebuildEvery int
+	prec         stream.Precision
+	count        int
+	rebuild      bool // force an exact rebuild before checkpointing
+	params       Params
+}
+
+func goldenCkptCases() []goldenCase {
+	return []goldenCase{
+		{name: "f64_midfill", n: 5, window: 12, rebuildEvery: 4, prec: stream.Float64, count: 7, params: testParams},
+		{name: "f64_postrebuild", n: 5, window: 12, rebuildEvery: 4, prec: stream.Float64, count: 21, rebuild: true},
+		{name: "f32_midfill", n: 4, window: 10, rebuildEvery: 4, prec: stream.Float32, count: 6},
+		{name: "f32_postrebuild", n: 4, window: 10, rebuildEvery: 4, prec: stream.Float32, count: 17, rebuild: true, params: testParams},
+	}
+}
+
+func goldenBytes(t *testing.T, c goldenCase) []byte {
+	t.Helper()
+	e := buildEngine(t, c.n, c.window, c.rebuildEvery, c.prec, c.count, 2026)
+	if c.rebuild {
+		pool := exec.New(1)
+		defer pool.Close()
+		if err := e.Rebuild(context.Background(), pool); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := CheckpointTo(&buf, e, c.params); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestGoldenCheckpoint(t *testing.T) {
+	for _, c := range goldenCkptCases() {
+		t.Run(c.name, func(t *testing.T) {
+			path := filepath.Join("testdata", "ckpt", c.name+".pfgc")
+			got := goldenBytes(t, c)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("checkpoint bytes diverge from %s: got %d bytes, want %d — the wire format moved; "+
+					"if intentional, bump FormatVersion and regenerate with -update", path, len(got), len(want))
+			}
+
+			// Backward compatibility: the committed file must still restore
+			// to the exact engine bits.
+			eng, p, err := RestoreEngine(bytes.NewReader(want), ws.New())
+			if err != nil {
+				t.Fatalf("committed fixture no longer restores: %v", err)
+			}
+			if p.Inc != c.params.Inc {
+				t.Fatalf("restored inc params %+v != %+v", p.Inc, c.params.Inc)
+			}
+			fresh := buildEngine(t, c.n, c.window, c.rebuildEvery, c.prec, c.count, 2026)
+			if c.rebuild {
+				pool := exec.New(1)
+				defer pool.Close()
+				if err := fresh.Rebuild(context.Background(), pool); err != nil {
+					t.Fatal(err)
+				}
+			}
+			sameEngine(t, c.name, fresh, eng)
+		})
+	}
+}
+
+func TestGoldenFixturesCommitted(t *testing.T) {
+	if *updateGolden {
+		t.Skip("updating")
+	}
+	for _, c := range goldenCkptCases() {
+		if _, err := os.Stat(filepath.Join("testdata", "ckpt", c.name+".pfgc")); err != nil {
+			t.Errorf("missing golden fixture: %v", err)
+		}
+	}
+}

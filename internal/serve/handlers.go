@@ -131,6 +131,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.stats.SessionsCreated.Add(1)
+	// Bring the session under the durability protocol (no-op without a
+	// StateDir) before the create is acknowledged, so no acknowledged push
+	// can slip in front of the WAL.
+	s.attachDurability(sess)
 	writeJSON(w, http.StatusCreated, sess.Info())
 }
 
@@ -216,6 +220,16 @@ func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		admitted++
+		if sess.dur != nil {
+			// Log the admitted push with its post-push generation stamp —
+			// the stamp WAL replay re-verifies push by push.
+			sess.dur.noteAdmitted(sess.st.Generation(), x)
+		}
+	}
+	if sess.dur != nil && admitted > 0 {
+		// The batch is applied: make its WAL frames durable (per the fsync
+		// policy) and checkpoint if the cadence came due.
+		sess.dur.afterBatch(sess)
 	}
 	s.stats.PushNanos.Add(int64(time.Since(start)))
 	if firstPush && sess.st.Series() == 0 {

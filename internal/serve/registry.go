@@ -63,6 +63,11 @@ type Session struct {
 	// budget, claimed at the first push; guarded by the registry mutex.
 	ringReserved int
 
+	// dur is the session's durability state (nil when the server runs
+	// without a StateDir, or when a disk failure at attach time disabled
+	// durability for this session); its fields are guarded by pushMu.
+	dur *durable
+
 	// lastStale and lastDrift record the staleness metadata of the most
 	// recently served snapshot (zero until one is served, and always zero
 	// for non-incremental sessions). Atomics: the snapshot path updates them
@@ -226,6 +231,57 @@ func (r *Registry) Create(id string, cfg SessionConfig) (*Session, error) {
 	return sess, nil
 }
 
+// restore registers a recovered session around an already-restored
+// streamer: the same limit checks and budget accounting as Create, except
+// the streamer exists (and may already hold a window ring, which must be
+// charged against the ring budgets up front — a recovered session's series
+// count is known, unlike a created one's). On error the caller owns closing
+// the streamer.
+func (r *Registry) restore(id string, cfg SessionConfig, st *pfg.Streamer) (*Session, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("session id must match [A-Za-z0-9._-]{1,64}, got %q", id)
+	}
+	if cfg.Workers > maxWorkers {
+		return nil, fmt.Errorf("workers %d exceeds the maximum %d", cfg.Workers, maxWorkers)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, fmt.Errorf("server is shutting down")
+	}
+	if _, ok := r.sessions[id]; ok {
+		return nil, errExists
+	}
+	if len(r.sessions) >= maxSessions {
+		return nil, errTooManySessions
+	}
+	if cfg.Workers > 0 && r.workersInUse+cfg.Workers > maxTotalWorkers {
+		return nil, errWorkerBudget
+	}
+	ringNeed := 0
+	if series := st.Series(); series > 0 {
+		ringNeed = cfg.ringFloatsNeeded(series)
+		if ringNeed > maxRingFloats {
+			return nil, fmt.Errorf("recovered window ring (%d float64-equivalents) exceeds the per-session cap %d", ringNeed, maxRingFloats)
+		}
+		if r.ringInUse+ringNeed > maxTotalRingFloats {
+			return nil, fmt.Errorf("aggregate window-buffer budget exhausted")
+		}
+	}
+	sess := &Session{ID: id, cfg: cfg, st: st, done: make(chan struct{})}
+	sess.cache.init()
+	sess.bcast.init(sess)
+	if cfg.Workers > 0 {
+		r.workersInUse += cfg.Workers
+	}
+	if ringNeed > 0 {
+		r.ringInUse += ringNeed
+		sess.ringReserved = ringNeed
+	}
+	r.sessions[id] = sess
+	return sess, nil
+}
+
 // reserveRing claims floats of the aggregate ring-buffer budget for the
 // session's window ring, reporting whether it fit. Called under the
 // session's push lock at the first push, before the ring is allocated.
@@ -317,6 +373,16 @@ func (r *Registry) Delete(id string) bool {
 	if ok {
 		close(s.done)
 		s.st.Close()
+		// An explicit delete also deletes the on-disk state: the client
+		// asked for the session to be gone, so it must not resurrect at
+		// the next boot.
+		s.pushMu.Lock()
+		if s.dur != nil {
+			s.dur.closeFiles()
+			s.dur.removeState()
+			s.dur = nil
+		}
+		s.pushMu.Unlock()
 	}
 	return ok
 }
@@ -333,5 +399,12 @@ func (r *Registry) closeAll() {
 	for _, s := range sessions {
 		close(s.done)
 		s.st.Close()
+		// Keep the on-disk state — this is shutdown, and Recover restores
+		// it next boot — but release the WAL file handles.
+		s.pushMu.Lock()
+		if s.dur != nil {
+			s.dur.closeFiles()
+		}
+		s.pushMu.Unlock()
 	}
 }

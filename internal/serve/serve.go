@@ -50,6 +50,8 @@ import (
 	"runtime"
 	"sync"
 	"time"
+
+	"pfg/internal/ckpt"
 )
 
 // Options configures a Server.
@@ -64,6 +66,23 @@ type Options struct {
 	// series costs ~20 bytes per value on the wire, so the default admits
 	// batches of hundreds of ticks at n=512.
 	MaxBodyBytes int64
+
+	// StateDir enables session durability: every session checkpoints its
+	// full window state under <StateDir>/<id>/ and logs admitted pushes to
+	// a write-ahead log between checkpoints (see durable.go for the
+	// protocol). Server.Recover restores the sessions at boot;
+	// Server.CheckpointAll takes the final checkpoints at drain. Empty
+	// (the default) disables durability entirely.
+	StateDir string
+	// CheckpointEvery is the checkpoint cadence in admitted pushes per
+	// session (0 = 64). Between checkpoints a crash loses nothing — the
+	// WAL suffix replays — so the knob trades checkpoint I/O volume
+	// against recovery replay time, not against durability.
+	CheckpointEvery int
+	// Fsync is the WAL durability policy: ckpt.SyncBatch (default, fsync
+	// once per HTTP push batch), ckpt.SyncAlways (per frame), or
+	// ckpt.SyncNone (leave it to the OS).
+	Fsync ckpt.SyncPolicy
 }
 
 // Server is the serving state: the session registry, the admission

@@ -42,6 +42,18 @@ type Stats struct {
 	EventBytes         atomic.Uint64 // bytes written to event streams
 	EventBytesSaved    atomic.Uint64 // Σ (full frame − sent frame) over delta deliveries
 	DeltaFallbackFulls atomic.Uint64 // deliveries that wanted a delta but fell back to full
+
+	// Durability counters (all zero when the server runs without a
+	// StateDir).
+	Checkpoints       atomic.Uint64 // checkpoints written (initial, periodic, and drain)
+	CheckpointBytes   atomic.Uint64 // total checkpoint bytes written
+	CheckpointNanos   atomic.Int64  // total wall time inside checkpoint writes
+	WALFrames         atomic.Uint64 // push frames appended to WAL segments
+	WALBytes          atomic.Uint64 // bytes appended to WAL segments
+	RecoveredSessions atomic.Uint64 // sessions restored by Recover at boot
+	ReplayedFrames    atomic.Uint64 // WAL frames replayed into recovered engines
+	TornTruncations   atomic.Uint64 // torn tails dropped: WAL tears + unusable checkpoints skipped
+	DurabilityErrors  atomic.Uint64 // disk failures that disabled a session's durability or skipped a recovery
 }
 
 // StatsSnapshot is the wire form of GET /statsz: the counter values at one
@@ -83,6 +95,18 @@ type StatsSnapshot struct {
 	EventBytesSaved    uint64  `json:"event_bytes_saved"`
 	DeltaFallbackFulls uint64  `json:"delta_fallback_fulls"`
 	DeltaRatio         float64 `json:"delta_ratio"` // delta events / all delivered events
+
+	// Durability: checkpoint/WAL volume, recovery outcomes, and failure
+	// counts (all zero without a -state-dir).
+	Checkpoints       uint64  `json:"checkpoints"`
+	CheckpointBytes   uint64  `json:"checkpoint_bytes"`
+	CheckpointMeanMs  float64 `json:"checkpoint_mean_ms"`
+	WALFrames         uint64  `json:"wal_frames"`
+	WALBytes          uint64  `json:"wal_bytes"`
+	RecoveredSessions uint64  `json:"recovered_sessions"`
+	ReplayedFrames    uint64  `json:"wal_replayed_frames"`
+	TornTruncations   uint64  `json:"wal_torn_truncations"`
+	DurabilityErrors  uint64  `json:"durability_errors"`
 
 	// Incremental serving-layer totals, summed over live incremental
 	// sessions at read time (a deleted session's history leaves the totals):
@@ -129,6 +153,15 @@ func (st *Stats) view() StatsSnapshot {
 		EventBytes:         st.EventBytes.Load(),
 		EventBytesSaved:    st.EventBytesSaved.Load(),
 		DeltaFallbackFulls: st.DeltaFallbackFulls.Load(),
+
+		Checkpoints:       st.Checkpoints.Load(),
+		CheckpointBytes:   st.CheckpointBytes.Load(),
+		WALFrames:         st.WALFrames.Load(),
+		WALBytes:          st.WALBytes.Load(),
+		RecoveredSessions: st.RecoveredSessions.Load(),
+		ReplayedFrames:    st.ReplayedFrames.Load(),
+		TornTruncations:   st.TornTruncations.Load(),
+		DurabilityErrors:  st.DurabilityErrors.Load(),
 	}
 	if v.TicksPushed > 0 {
 		v.PushMeanUs = float64(st.PushNanos.Load()) / float64(v.TicksPushed) / 1e3
@@ -138,6 +171,9 @@ func (st *Stats) view() StatsSnapshot {
 	}
 	if delivered := v.EventsDelta + v.EventsFull; delivered > 0 {
 		v.DeltaRatio = float64(v.EventsDelta) / float64(delivered)
+	}
+	if v.Checkpoints > 0 {
+		v.CheckpointMeanMs = float64(st.CheckpointNanos.Load()) / float64(v.Checkpoints) / 1e6
 	}
 	return v
 }

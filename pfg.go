@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"slices"
 	"strconv"
 	"sync"
 
+	"pfg/internal/ckpt"
 	"pfg/internal/core"
 	"pfg/internal/dendro"
 	"pfg/internal/exec"
@@ -765,6 +767,13 @@ type Streamer struct {
 // NewStreamer creates a streamer over a rolling window of the given length
 // (in samples). The number of series is inferred from the first Push.
 func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
+	return newStreamer(window, opts, ws.New())
+}
+
+// newStreamer is NewStreamer over a caller-provided pinned workspace, so
+// RestoreStreamer can hand over a workspace the restored engine's buffers
+// were already drawn from.
+func newStreamer(window int, opts StreamOptions, w *ws.Workspace) (*Streamer, error) {
 	if window < 2 {
 		return nil, fmt.Errorf("pfg: streaming window %d < 2", window)
 	}
@@ -774,7 +783,7 @@ func NewStreamer(window int, opts StreamOptions) (*Streamer, error) {
 	if opts.RebuildEvery == 0 {
 		opts.RebuildEvery = DefaultRebuildEvery
 	}
-	st := &Streamer{window: window, opts: opts, w: ws.New(), watchCh: make(chan struct{})}
+	st := &Streamer{window: window, opts: opts, w: w, watchCh: make(chan struct{})}
 	if opts.Incremental.Enabled {
 		cfg := inc.Config{
 			DriftThreshold: opts.Incremental.DriftThreshold,
@@ -932,6 +941,95 @@ func (st *Streamer) Rebuild() error {
 		return nil
 	}
 	return st.eng.Rebuild(context.Background(), st.pool)
+}
+
+// Checkpoint writes a versioned, CRC-framed binary checkpoint of the
+// streamer's full window state to w (see internal/ckpt for the wire form)
+// and returns the generation stamp the checkpoint is atomic with: it is
+// taken under the same read lock as Snapshot, so the bytes written are the
+// bits of exactly that generation — pushes running concurrently land either
+// entirely before or entirely after it. A streamer restored from the bytes
+// (RestoreStreamer) produces Snapshot results bit-identical to this one at
+// the same worker count, and its next Push advances to the same bits this
+// streamer's would.
+//
+// A streamer that has not admitted its first push yet checkpoints its
+// configuration alone (generation 0). The incremental layer's reference
+// clustering is a cache, not state: it is not written, and the restored
+// streamer's first snapshot re-clusters exactly. A closed streamer returns
+// ErrClosed.
+func (st *Streamer) Checkpoint(w io.Writer) (uint64, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if st.closed {
+		return 0, ErrClosed
+	}
+	var gen uint64
+	if st.eng != nil {
+		gen = st.eng.Generation()
+	}
+	p := ckpt.Params{
+		Window:       st.window,
+		RebuildEvery: st.opts.RebuildEvery,
+		Precision:    st.opts.Precision,
+		Inc: ckpt.IncParams{
+			Enabled:        st.opts.Incremental.Enabled,
+			DriftThreshold: st.opts.Incremental.DriftThreshold,
+			MaxStale:       st.opts.Incremental.MaxStale,
+			RepairBudget:   st.opts.Incremental.RepairBudget,
+			ValidateEvery:  st.opts.Incremental.ValidateEvery,
+		},
+	}
+	if _, err := ckpt.CheckpointTo(w, st.eng, p); err != nil {
+		return 0, err
+	}
+	return gen, nil
+}
+
+// RestoreStreamer reconstructs a streamer from checkpoint bytes written by
+// Checkpoint. The window geometry, precision, rebuild cadence, and
+// incremental-layer configuration come from the checkpoint; cluster
+// supplies what a checkpoint deliberately does not carry — the snapshot
+// Options (method, prefix, worker budget), which are serving configuration
+// rather than window state. The restored streamer resumes at the
+// checkpointed generation with bit-identical moments: its snapshots and the
+// checkpointed streamer's are byte-for-byte equal at the same worker count,
+// and subsequent pushes evolve both through identical states.
+//
+// The input is fully untrusted: framing CRCs, format version, every
+// declared shape, and the engine's own state invariants are validated
+// (typed errors ckpt.ErrBadMagic / ErrVersion / ErrCorrupt / ErrFormat)
+// before any state is accepted.
+func RestoreStreamer(r io.Reader, cluster Options) (*Streamer, error) {
+	w := ws.New()
+	eng, p, err := ckpt.RestoreEngine(r, w)
+	if err != nil {
+		return nil, err
+	}
+	opts := StreamOptions{
+		Cluster:      cluster,
+		RebuildEvery: p.RebuildEvery,
+		Precision:    p.Precision,
+		Incremental: IncrementalOptions{
+			Enabled:        p.Inc.Enabled,
+			DriftThreshold: p.Inc.DriftThreshold,
+			MaxStale:       p.Inc.MaxStale,
+			RepairBudget:   p.Inc.RepairBudget,
+			ValidateEvery:  p.Inc.ValidateEvery,
+		},
+	}
+	st, err := newStreamer(p.Window, opts, w)
+	if err != nil {
+		if eng != nil {
+			eng.Release()
+		}
+		return nil, err
+	}
+	if eng != nil {
+		eng.SetGenHook(st.notifyWatch)
+		st.eng = eng
+	}
+	return st, nil
 }
 
 // Len returns the number of samples currently in the window.
