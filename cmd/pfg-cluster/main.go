@@ -18,13 +18,17 @@
 // (one observation per series, n columns), rows arrive in time order, and
 // the tool re-clusters a rolling window as they do:
 //
-//	pfg-cluster -follow -window 256 -k 8 [-every 16] [-rebuild 256] ticks.csv
+//	pfg-cluster -follow -window 256 -k 8 [-every 16] [-rebuild 256]
+//	            [-log-slow-tick 50ms] ticks.csv
 //
 // ("-" reads ticks from stdin.) Once the window holds at least two samples,
 // every -every ticks it prints one line "tick <t>: <labels...>", and a final
 // snapshot at EOF. The rolling correlation state updates in O(n²) per tick
 // instead of recomputing the O(n²·T) batch correlation; -rebuild is the
 // drift-rebuild period K (exact recompute every K window slides).
+// -log-slow-tick logs a per-stage breakdown to stderr (admit/roll/rebuild
+// for pushes, finish/cluster for snapshots) whenever a tick or snapshot
+// exceeds the threshold.
 package main
 
 import (
@@ -37,6 +41,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"pfg"
 	"pfg/internal/dataio"
@@ -55,6 +60,7 @@ func main() {
 	every := flag.Int("every", 16, "with -follow: print a snapshot every this many ticks")
 	rebuild := flag.Int("rebuild", 0, "with -follow: exact drift-rebuild period K in window slides (0 = default)")
 	precision := flag.String("precision", "float64", "with -follow: moment storage mode, float64 (bit-exact) or float32 (half the memory bandwidth, ~1e-5 correlation error)")
+	logSlowTick := flag.Duration("log-slow-tick", 0, "with -follow: log a per-stage breakdown for pushes or snapshots slower than this (0 = off)")
 	flag.Parse()
 	if *k < 1 || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pfg-cluster -k K [flags] data.csv")
@@ -95,7 +101,7 @@ func main() {
 			fatal(fmt.Errorf("unknown precision %q (want float64 or float32)", *precision))
 		}
 		fmt.Fprintf(os.Stderr, "pfg-cluster: compute kernels %s, %s moments\n", pfg.KernelISA(), prec)
-		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, prec, opts); err != nil {
+		if err := runFollow(flag.Arg(0), *k, *window, *every, *rebuild, *logSlowTick, prec, opts); err != nil {
 			fatal(err)
 		}
 		return
@@ -148,7 +154,7 @@ func main() {
 
 // runFollow drives the streaming engine over a tick-oriented CSV: each row
 // is one sample across all series, pushed in file order.
-func runFollow(path string, k, window, every, rebuild int, prec pfg.Precision, opts pfg.Options) error {
+func runFollow(path string, k, window, every, rebuild int, slow time.Duration, prec pfg.Precision, opts pfg.Options) error {
 	if every < 1 {
 		return fmt.Errorf("-every must be ≥ 1, got %d", every)
 	}
@@ -166,10 +172,29 @@ func runFollow(path string, k, window, every, rebuild int, prec pfg.Precision, o
 		return err
 	}
 	defer st.Close()
+	// With -log-slow-tick, install bare stages (no registry, no histograms):
+	// each records only its last duration, which the breakdown lines below
+	// read back. Without the flag the streamer stays fully uninstrumented
+	// and never touches the clock.
+	var met *pfg.StreamerMetrics
+	if slow > 0 {
+		met = pfg.NewStreamerMetrics()
+		st.SetMetrics(met)
+	}
 	snapshotAt := func(tick int) error {
+		var t0 time.Time
+		if met != nil {
+			t0 = time.Now()
+		}
 		res, err := st.Snapshot(context.Background())
 		if err != nil {
 			return fmt.Errorf("tick %d: %w", tick, err)
+		}
+		if met != nil {
+			if el := time.Since(t0); el >= slow {
+				fmt.Fprintf(os.Stderr, "pfg-cluster: slow snapshot tick=%d total=%s finish=%s cluster=%s\n",
+					tick, el, met.SnapshotFinish.Last(), met.SnapshotCluster.Last())
+			}
 		}
 		labels, err := res.Cut(k)
 		if err != nil {
@@ -208,10 +233,20 @@ func runFollow(path string, k, window, every, rebuild int, prec pfg.Precision, o
 			}
 			x[i] = v
 		}
+		var t0 time.Time
+		if met != nil {
+			t0 = time.Now()
+		}
 		if err := st.Push(x); err != nil {
 			return fmt.Errorf("tick %d: %w", tick+1, err)
 		}
 		tick++
+		if met != nil {
+			if el := time.Since(t0); el >= slow {
+				fmt.Fprintf(os.Stderr, "pfg-cluster: slow tick=%d total=%s admit=%s roll=%s rebuild=%s\n",
+					tick, el, met.PushAdmit.Last(), met.PushRoll.Last(), met.Rebuild.Last())
+			}
+		}
 		if st.Len() >= 2 && tick%every == 0 {
 			if err := snapshotAt(tick); err != nil {
 				return err

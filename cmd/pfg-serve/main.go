@@ -6,6 +6,7 @@
 //
 //	pfg-serve [-addr :8866] [-max-inflight N] [-max-body-bytes B] [-drain 10s]
 //	          [-state-dir DIR] [-checkpoint-every N] [-fsync batch|always|none]
+//	          [-debug-addr :6060] [-log-slow-tick 50ms]
 //
 // Endpoints (see internal/serve for the wire contract):
 //
@@ -17,6 +18,8 @@
 //	GET    /v1/sessions /v1/sessions/{id}   list / inspect
 //	DELETE /v1/sessions/{id}            delete
 //	GET    /healthz /statsz             liveness, counters and latencies
+//	GET    /metricsz                    Prometheus text exposition of the same
+//	GET    /driftz                      per-session structure-drift signal
 //
 // Concurrent snapshot readers of one window state share a single clustering
 // run (singleflight, generation-keyed cache); -max-inflight bounds the
@@ -31,6 +34,12 @@
 // a final checkpoint of every session, and the next start with the same
 // -state-dir restores them — same generations, byte-identical snapshots —
 // whether the previous process drained cleanly or was killed outright.
+//
+// -debug-addr serves net/http/pprof on a separate listener and mux, so the
+// profiling surface never shares a port with the public API; -log-slow-tick
+// logs a one-line per-stage breakdown (admit/roll/rebuild, or the snapshot
+// finish/cluster/incremental stages) for any push or clustering run that
+// exceeds the threshold.
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +67,8 @@ func main() {
 	stateDir := flag.String("state-dir", "", "session durability directory (empty = sessions die with the process)")
 	ckptEvery := flag.Int("checkpoint-every", 0, "checkpoint cadence in admitted pushes per session (0 = 64)")
 	fsyncMode := flag.String("fsync", "batch", "WAL fsync policy: batch (per push request), always (per tick), none")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this separate address (empty = no debug listener)")
+	logSlowTick := flag.Duration("log-slow-tick", 0, "log a per-stage breakdown for pushes and clustering runs slower than this (0 = off)")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintln(os.Stderr, "usage: pfg-serve [flags]")
@@ -74,6 +86,7 @@ func main() {
 		StateDir:        *stateDir,
 		CheckpointEvery: *ckptEvery,
 		Fsync:           fsync,
+		LogSlowTick:     *logSlowTick,
 	})
 	if *stateDir != "" {
 		// Boot-time recovery: restore every session the previous process
@@ -102,6 +115,28 @@ func main() {
 	// keep its exact format.
 	fmt.Fprintf(os.Stderr, "pfg-serve: compute kernels %s\n", pfg.KernelISA())
 	fmt.Fprintf(os.Stderr, "pfg-serve: listening on %s\n", ln.Addr())
+
+	var ds *http.Server
+	if *debugAddr != "" {
+		// pprof gets its own mux on its own listener so the profiling
+		// surface (heap dumps, CPU profiles, execution traces) is never
+		// reachable through the public API port. The handlers are registered
+		// explicitly rather than through net/http/pprof's DefaultServeMux
+		// side effect, which the public handler never consults anyway.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "pfg-serve: debug listening on %s\n", dln.Addr())
+		ds = &http.Server{Handler: dmux, ReadHeaderTimeout: 10 * time.Second}
+		go ds.Serve(dln)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -135,6 +170,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pfg-serve: checkpointed %d session(s)\n", n)
 	}
 	srv.Close()
+	if ds != nil {
+		// Profiling requests don't participate in the drain; just drop them.
+		ds.Close()
+	}
 }
 
 func fatal(err error) {

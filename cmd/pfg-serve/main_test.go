@@ -10,15 +10,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"net"
 	"net/http"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"syscall"
 	"testing"
 	"time"
 
 	"pfg"
+	"pfg/internal/obs"
 	"pfg/internal/tsgen"
 )
 
@@ -463,5 +467,307 @@ func TestServeRestartKill(t *testing.T) {
 	}
 	if stats.Replayed == 0 {
 		t.Fatal("hard kill recovered without WAL replay")
+	}
+}
+
+// driftBase holds the two group patterns of the drift test feed. Both are
+// zero-mean over one period and weakly anti-correlated with each other
+// (corr −0.1), so two clusters at cut 2 are unambiguous.
+var driftBase = [2][4]float64{
+	{1.0, 2.0, -1.0, -2.0},
+	{2.0, -2.0, 1.0, -1.0},
+}
+
+// driftSample builds tick t of a strictly period-4 feed: series i follows
+// its group's base pattern plus a small per-series period-4 perturbation
+// (so no two series are affinely identical). With window 16 = 4 periods,
+// every phase-aligned window holds exactly the same values — consecutive
+// clustering runs 4 ticks apart see bit-identical inputs.
+func driftSample(groups []int, t int) []float64 {
+	x := make([]float64, len(groups))
+	p := t % 4
+	for i, g := range groups {
+		eps := 0.01 * float64((i*7+p*3)%5-2)
+		x[i] = driftBase[g][p] + eps
+	}
+	return x
+}
+
+// pushDriftTicks pushes count ticks starting at tick from, in batches of 4
+// (keeping the window phase-aligned), and returns the next tick index.
+func pushDriftTicks(t *testing.T, base string, groups []int, from, count int) int {
+	t.Helper()
+	for off := 0; off < count; off += 4 {
+		batch := make([][]float64, 4)
+		for j := range batch {
+			batch[j] = driftSample(groups, from+off+j)
+		}
+		postJSON(t, base+"/v1/sessions/drift/push", map[string]any{"samples": batch}, http.StatusOK, nil)
+	}
+	return from + count
+}
+
+// validateExposition parses a Prometheus text exposition and checks its
+// histogram invariants: every histogram series carries the full fixed bucket
+// ladder, cumulative counts are monotone nondecreasing, and the le="+Inf"
+// bucket equals the series' _count sample.
+func validateExposition(t *testing.T, text string) {
+	t.Helper()
+	type key struct{ name, labels string }
+	type ladder struct {
+		n      int
+		lastLE string
+		prev   uint64
+		inf    uint64
+	}
+	ladders := map[key]*ladder{}
+	counts := map[key]uint64{}
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("exposition line without a value: %q", line)
+		}
+		series, valStr := line[:sp], line[sp+1:]
+		name, labels := series, ""
+		if br := strings.IndexByte(series, '{'); br >= 0 {
+			if !strings.HasSuffix(series, "}") {
+				t.Fatalf("unterminated label set: %q", line)
+			}
+			name, labels = series[:br], series[br+1:len(series)-1]
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bad bucket count in %q: %v", line, err)
+			}
+			le := ""
+			rest := labels
+			if i := strings.Index(labels, `le="`); i >= 0 {
+				tail := labels[i+len(`le="`):]
+				j := strings.IndexByte(tail, '"')
+				le = tail[:j]
+				rest = strings.TrimSuffix(strings.TrimSuffix(labels[:i], ","), " ")
+				rest = strings.TrimSuffix(rest, ",")
+			} else {
+				t.Fatalf("bucket sample without le: %q", line)
+			}
+			k := key{strings.TrimSuffix(name, "_bucket"), rest}
+			l := ladders[k]
+			if l == nil {
+				l = &ladder{}
+				ladders[k] = l
+			}
+			if v < l.prev {
+				t.Fatalf("%s{%s}: bucket le=%q count %d below previous %d", k.name, k.labels, le, v, l.prev)
+			}
+			l.n++
+			l.prev, l.lastLE = v, le
+			if le == "+Inf" {
+				l.inf = v
+			}
+		case strings.HasSuffix(name, "_count"):
+			v, err := strconv.ParseUint(valStr, 10, 64)
+			if err != nil {
+				t.Fatalf("bad count in %q: %v", line, err)
+			}
+			counts[key{strings.TrimSuffix(name, "_count"), labels}] = v
+		}
+	}
+	if len(ladders) == 0 {
+		t.Fatal("exposition contains no histogram buckets")
+	}
+	for k, l := range ladders {
+		if l.n != obs.NumBuckets {
+			t.Fatalf("%s{%s}: %d buckets, want %d", k.name, k.labels, l.n, obs.NumBuckets)
+		}
+		if l.lastLE != "+Inf" {
+			t.Fatalf("%s{%s}: last bucket le=%q, want +Inf", k.name, k.labels, l.lastLE)
+		}
+		c, ok := counts[k]
+		if !ok {
+			t.Fatalf("%s{%s}: no _count sample", k.name, k.labels)
+		}
+		if l.inf != c {
+			t.Fatalf("%s{%s}: le=+Inf bucket %d != _count %d", k.name, k.labels, l.inf, c)
+		}
+	}
+}
+
+// TestServeMetricsDrift is the observability end-to-end against the real
+// binary: /metricsz must parse as a valid Prometheus exposition with
+// coherent histogram ladders, /driftz must report ARI 1 / zero churn across
+// a generation whose window content is unchanged and ARI < 1 after a forced
+// regime change, the drift record must ride SSE snapshot frames but never
+// the GET /snapshot body, and the -debug-addr pprof mux must answer on its
+// own port.
+func TestServeMetricsDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped under -short; run by the dedicated smoke step")
+	}
+	bin := buildBinary(t)
+
+	// Reserve a port for the debug listener, then hand it to the server.
+	dln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := dln.Addr().String()
+	dln.Close()
+	base, _ := startServer(t, bin, "-debug-addr", debugAddr, "-log-slow-tick", "1h")
+
+	groups := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	postJSON(t, base+"/v1/sessions", map[string]any{
+		"id": "drift", "window": 16, "rebuild_every": 4, "drift_cut": 2,
+	}, http.StatusCreated, nil)
+
+	// Fill the window (4 periods of the period-4 feed) and cluster it: the
+	// first computed generation has no predecessor, so no drift yet. The
+	// generation stamp is read back rather than assumed: it advances on
+	// every admitted tick AND on every periodic rebuild.
+	var snap struct {
+		Generation uint64 `json:"generation"`
+	}
+	tick := pushDriftTicks(t, base, groups, 0, 16)
+	getJSON(t, base+"/v1/sessions/drift/snapshot?k=2", &snap)
+	gen1 := snap.Generation
+	var dz struct {
+		Sessions []struct {
+			ID         string `json:"id"`
+			Generation uint64 `json:"generation"`
+			Drift      *struct {
+				FromGeneration uint64  `json:"from_generation"`
+				ARI            float64 `json:"ari"`
+				EdgesAdded     int     `json:"edges_added"`
+				EdgesRemoved   int     `json:"edges_removed"`
+				Cut            int     `json:"cut"`
+			} `json:"drift"`
+		} `json:"sessions"`
+	}
+	getJSON(t, base+"/driftz", &dz)
+	if len(dz.Sessions) != 1 || dz.Sessions[0].ID != "drift" || dz.Sessions[0].Generation != gen1 {
+		t.Fatalf("driftz after first run (gen %d): %+v", gen1, dz.Sessions)
+	}
+	if dz.Sessions[0].Drift != nil {
+		t.Fatalf("drift record before a second generation: %+v", dz.Sessions[0].Drift)
+	}
+
+	// One more period: the window slides by exactly 4 ticks of a period-4
+	// feed, so its content — and the clustering — is unchanged.
+	tick = pushDriftTicks(t, base, groups, tick, 4)
+	body := getBody(t, base+"/v1/sessions/drift/snapshot?k=2")
+	if bytes.Contains(body, []byte(`"drift":{`)) {
+		t.Fatalf("GET /snapshot body carries a drift field (must stay a pure function of window state):\n%s", body)
+	}
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	gen2 := snap.Generation
+	getJSON(t, base+"/driftz", &dz)
+	d := dz.Sessions[0].Drift
+	if dz.Sessions[0].Generation != gen2 || d == nil {
+		t.Fatalf("driftz after unchanged-window run (gen %d): %+v", gen2, dz.Sessions[0])
+	}
+	if d.FromGeneration != gen1 || d.ARI != 1 || d.EdgesAdded != 0 || d.EdgesRemoved != 0 || d.Cut != 2 {
+		t.Fatalf("unchanged window must drift ARI=1/churn=0 from gen %d, got %+v", gen1, d)
+	}
+
+	// Regime change: half of each group swaps sides, and 32 ticks flush the
+	// old regime out of the 16-tick window entirely.
+	regime2 := []int{0, 0, 1, 1, 1, 1, 0, 0}
+	pushDriftTicks(t, base, regime2, tick, 32)
+	getJSON(t, base+"/v1/sessions/drift/snapshot?k=2", &snap)
+	gen3 := snap.Generation
+	getJSON(t, base+"/driftz", &dz)
+	d = dz.Sessions[0].Drift
+	if dz.Sessions[0].Generation != gen3 || d == nil || d.FromGeneration != gen2 {
+		t.Fatalf("driftz after regime change (gen %d→%d): %+v", gen2, gen3, dz.Sessions[0])
+	}
+	if d.ARI >= 1 {
+		t.Fatalf("regime change must move the labeling (ARI < 1), got %+v", d)
+	}
+
+	// The same record rides the SSE snapshot frame (but, per above, not the
+	// GET body).
+	resp, err := http.Get(base + "/v1/sessions/drift/events?k=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, data := readSSE(t, bufio.NewReader(resp.Body))
+	resp.Body.Close()
+	if name != "snapshot" {
+		t.Fatalf("first SSE event %q, want snapshot", name)
+	}
+	var sseSnap struct {
+		Generation uint64 `json:"generation"`
+		Drift      *struct {
+			FromGeneration uint64  `json:"from_generation"`
+			ARI            float64 `json:"ari"`
+		} `json:"drift"`
+	}
+	if err := json.Unmarshal(data, &sseSnap); err != nil {
+		t.Fatalf("SSE snapshot frame: %v\n%s", err, data)
+	}
+	if sseSnap.Generation != gen3 || sseSnap.Drift == nil ||
+		sseSnap.Drift.FromGeneration != gen2 || sseSnap.Drift.ARI != d.ARI {
+		t.Fatalf("SSE snapshot frame drift: %+v (want from=%d ari=%v)", sseSnap.Drift, gen2, d.ARI)
+	}
+
+	// /metricsz: a valid exposition whose counters agree with the traffic.
+	mresp, err := http.Get(base + "/metricsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := mresp.Header.Get("Content-Type")
+	mb, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("metricsz Content-Type %q", ct)
+	}
+	text := string(mb)
+	for _, want := range []string{
+		"# HELP pfg_ticks_pushed_total ",
+		"# TYPE pfg_ticks_pushed_total counter",
+		"# TYPE pfg_sessions gauge",
+		"# TYPE pfg_push_batch_ns histogram",
+		"\npfg_ticks_pushed_total 52\n",
+		"\npfg_sessions 1\n",
+		"pfg_tick_stage_ns_bucket{stage=\"roll\",le=\"+Inf\"}",
+		"pfg_snapshot_request_ns_bucket{source=\"miss\",le=\"+Inf\"}",
+		"pfg_session_drift_ari{session=\"drift\"} ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metricsz missing %q:\n%s", want, text)
+		}
+	}
+	validateExposition(t, text)
+
+	// The pprof mux answers on the debug port, not the API port.
+	var dresp *http.Response
+	for i := 0; i < 100; i++ {
+		dresp, err = http.Get("http://" + debugAddr + "/debug/pprof/")
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("debug listener never answered: %v", err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/pprof/ on debug port: status %d", dresp.StatusCode)
+	}
+	if apiResp, err := http.Get(base + "/debug/pprof/"); err == nil {
+		apiResp.Body.Close()
+		if apiResp.StatusCode == http.StatusOK {
+			t.Fatal("pprof reachable on the public API port")
+		}
 	}
 }

@@ -48,9 +48,24 @@ import (
 	"pfg/internal/hac"
 	"pfg/internal/kernel"
 	"pfg/internal/matrix"
+	"pfg/internal/obs"
 	"pfg/internal/tmfg"
 	"pfg/internal/ws"
 )
+
+// Metrics is the gate chain's per-stage instrumentation. All stages may be
+// nil (each no-ops); a nil *Metrics disables timing entirely.
+type Metrics struct {
+	// Drift covers the drift-gate measurement: moment prep plus the
+	// entrywise deviation scan against the reference correlations.
+	Drift *obs.Stage
+	// Revalidate covers strict-mode decision re-certification (finish,
+	// trajectory replay, warm repair).
+	Revalidate *obs.Stage
+	// Refresh covers exact refreshes: finishing the moments (unless
+	// revalidation already did) and the full clustering run.
+	Refresh *obs.Stage
+}
 
 // Kind selects the clustering pipeline the Manager runs and repairs.
 type Kind int
@@ -152,6 +167,7 @@ type Manager struct {
 	mu    sync.Mutex
 	n     int
 	stats Stats
+	met   *Metrics // per-stage timing, nil = uninstrumented
 
 	// Reference state: the finished correlation matrix at generation
 	// refGen and the exact clustering computed from it.
@@ -192,6 +208,13 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
+// SetMetrics installs (or, with nil, removes) per-stage timing.
+func (m *Manager) SetMetrics(met *Metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = met
+}
+
 // Stats returns a snapshot of the gate counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
@@ -228,11 +251,18 @@ func (m *Manager) Snapshot(ctx context.Context, pool *exec.Pool, w *ws.Workspace
 	}
 
 	// Drift gate, measured straight from the moments.
+	var sw obs.Stopwatch
+	if m.met != nil {
+		sw.Start()
+	}
 	m.grow(n)
 	if bad := kernel.PrepPearsonMoments(sim.Data, n, sums, count, m.mub, m.invb, m.zerob); bad >= 0 {
 		return nil, fmt.Errorf("inc: series %d has non-finite moments (overflow)", bad)
 	}
 	drift := kernel.CorrDriftRows(sim.Data, n, sums, m.mub, m.invb, m.zerob, m.refCorr, 0, n)
+	if m.met != nil {
+		sw.Lap(m.met.Drift)
+	}
 	stale := int(gen - m.refGen)
 	if drift > m.cfg.DriftThreshold {
 		m.stats.FullDrift++
@@ -248,7 +278,13 @@ func (m *Manager) Snapshot(ctx context.Context, pool *exec.Pool, w *ws.Workspace
 		m.sinceVal++
 		if m.sinceVal >= m.cfg.ValidateEvery {
 			m.sinceVal = 0
+			if m.met != nil {
+				sw.Start()
+			}
 			certified, dis, err := m.revalidate(ctx, pool, w, sim, sums, count, drift)
+			if m.met != nil {
+				sw.Lap(m.met.Revalidate)
+			}
 			if err != nil {
 				if dis != nil {
 					dis.Release(w)
@@ -290,6 +326,10 @@ func (m *Manager) grow(n int) {
 // dissimilarities; otherwise the finish runs here.
 func (m *Manager) refresh(ctx context.Context, pool *exec.Pool, w *ws.Workspace, sim *matrix.Sym, sums []float64, count int, gen uint64, dis *matrix.Sym) (*Outcome, error) {
 	m.stats.Fulls++
+	var sw obs.Stopwatch
+	if m.met != nil {
+		sw.Start()
+	}
 	n := sim.N
 	ownDis := dis == nil
 	if ownDis {
@@ -333,6 +373,9 @@ func (m *Manager) refresh(ctx context.Context, pool *exec.Pool, w *ws.Workspace,
 	m.groups = r.Groups
 	m.recOK = m.cfg.RepairBudget > 0
 	m.sinceVal = 0
+	if m.met != nil {
+		sw.Lap(m.met.Refresh)
+	}
 	return m.serve(true, 0, 0), nil
 }
 

@@ -28,11 +28,15 @@ import (
 //	id: <generation>
 //	data: <one JSON object>
 //
-// "snapshot" data is byte-identical to the GET /snapshot body of that
-// generation; "delta" data is a DeltaResponse transforming the subscriber's
-// previous generation into this one (sent only when the chain is intact and
-// the delta is smaller than the full body); "dropped" is a DroppedEvent;
-// "bye" ends the stream (session deleted or server draining).
+// "snapshot" data is the GET /snapshot body of that generation — extended,
+// when structure drift was computed for the generation, with a "drift"
+// field (see drift.go; the GET body itself never carries it, because the
+// drift baseline is per-process serving history and the GET body must stay
+// a pure function of the window state). "delta" data is a DeltaResponse
+// transforming the subscriber's previous generation into this one (sent
+// only when the chain is intact and the delta is smaller than the full
+// body), carrying the same drift record; "dropped" is a DroppedEvent; "bye"
+// ends the stream (session deleted or server draining).
 
 // subQueueCap bounds a subscriber's pending-event queue. The queue holds
 // pointers to shared pre-marshaled frames, so the bound is about latency
@@ -69,19 +73,22 @@ type subscriber struct {
 }
 
 // offer appends an event to the subscriber's queue, dropping to latest on
-// overflow. Never blocks.
-func (sub *subscriber) offer(ev *outEvent) {
+// overflow, and returns the resulting queue depth (the broadcaster's
+// backpressure signal). Never blocks.
+func (sub *subscriber) offer(ev *outEvent) int {
 	sub.mu.Lock()
 	if len(sub.queue) >= subQueueCap {
 		sub.dropped += uint64(len(sub.queue))
 		sub.queue = sub.queue[:0]
 	}
 	sub.queue = append(sub.queue, ev)
+	depth := len(sub.queue)
 	sub.mu.Unlock()
 	select {
 	case sub.signal <- struct{}{}:
 	default:
 	}
+	return depth
 }
 
 // take drains the subscriber's queue: the pending events plus the count of
@@ -238,16 +245,45 @@ func (b *broadcaster) deliver(s *Server, subs []*subscriber, gen uint64) (uint64
 			// served; its subscribers simply receive nothing.
 			continue
 		}
-		ev := &outEvent{gen: actualGen, full: sseFrame("snapshot", actualGen, full)}
+		ev := &outEvent{gen: actualGen, full: sseFrame("snapshot", actualGen, injectDrift(full, sess.drift.driftFor(actualGen)))}
 		if d, fromGen, ok := s.snapshotDelta(sess, actualGen, key); ok && len(d) < len(full) {
 			ev.fromGen = fromGen
 			ev.delta = sseFrame("delta", actualGen, d)
 		}
 		for _, sub := range group {
-			sub.offer(ev)
+			// The post-offer depth is how far this subscriber is behind; a
+			// distribution hugging 1 means readers keep up, climbing toward
+			// subQueueCap foreshadows drop-to-latest.
+			s.ins.subQueueDepth.Observe(uint64(sub.offer(ev)))
 		}
 	}
 	return actualGen, nil
+}
+
+// injectDrift splices a drift record into a pre-marshaled snapshot body
+// (which the cache shares with the GET path and must not itself carry
+// drift): `{...}` becomes `{...,"drift":{...}}`. The record is fixed before
+// the generation's clustering run published, so every SSE snapshot frame of
+// one generation is still byte-identical across subscribers. nil drift (or
+// a marshal failure) returns the body unchanged.
+func injectDrift(body []byte, d *StructureDrift) []byte {
+	if d == nil {
+		return body
+	}
+	db, err := json.Marshal(d)
+	if err != nil {
+		return body
+	}
+	trimmed := bytes.TrimRight(body, "\n")
+	if len(trimmed) == 0 || trimmed[len(trimmed)-1] != '}' {
+		return body
+	}
+	out := make([]byte, 0, len(trimmed)+len(db)+10)
+	out = append(out, trimmed[:len(trimmed)-1]...)
+	out = append(out, `,"drift":`...)
+	out = append(out, db...)
+	out = append(out, '}')
+	return out
 }
 
 // sseFrame renders one Server-Sent Events frame. data is a single-line JSON
@@ -339,7 +375,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if n, l := sess.st.Series(), sess.st.Len(); l >= 2 && n >= sess.cfg.Method.MinSeries() {
 		if res, gen, _, err := s.snapshotResult(r.Context(), sess); err == nil {
 			if full, err := s.snapshotBody(sess, res, gen, ks, sub.key); err == nil {
-				frame := sseFrame("snapshot", gen, full)
+				frame := sseFrame("snapshot", gen, injectDrift(full, sess.drift.driftFor(gen)))
 				if _, err := w.Write(frame); err != nil {
 					return
 				}

@@ -264,7 +264,19 @@ func (s *Server) snapshotResult(ctx context.Context, sess *Session) (*pfg.Result
 		defer func() { <-s.sem }()
 		start := time.Now()
 		res, actualGen, err := sess.st.SnapshotGen(runCtx)
-		s.stats.SnapshotRunNanos.Add(int64(time.Since(start)))
+		elapsed := time.Since(start)
+		s.stats.SnapshotRunNanos.Add(int64(elapsed))
+		if err == nil {
+			s.ins.snapRunNs.Observe(uint64(elapsed))
+			// Record the structure-drift comparison before the flight
+			// publishes: every response body of this generation — built only
+			// after f.done closes or c.res lands below — then embeds the
+			// same drift record.
+			s.noteStructure(sess, res, actualGen)
+			if slow := s.opts.LogSlowTick; slow > 0 && elapsed >= slow {
+				logSlowSnapshot(sess, actualGen, elapsed)
+			}
+		}
 		cancel()
 		c.mu.Lock()
 		// Unpublish only this flight: if the last waiter abandoned it, it

@@ -75,6 +75,7 @@ type durable struct {
 	every  int
 	policy ckpt.SyncPolicy
 	stats  *Stats
+	ins    *instruments // the server's histogram set (nil instruments no-op)
 
 	wal     *ckpt.WALWriter
 	walF    *os.File
@@ -97,6 +98,7 @@ func (s *Server) attachDurability(sess *Session) {
 		every:  s.opts.CheckpointEvery,
 		policy: s.opts.Fsync,
 		stats:  &s.stats,
+		ins:    &s.ins,
 	}
 	if d.every <= 0 {
 		d.every = defaultCheckpointEvery
@@ -132,6 +134,7 @@ func (d *durable) writeMeta(sess *Session) error {
 		Workers:      sess.cfg.Workers,
 		RebuildEvery: sess.cfg.RebuildEvery,
 		Precision:    sess.cfg.Precision.String(),
+		DriftCut:     sess.cfg.DriftCut,
 	}
 	if sess.cfg.Incremental.Enabled {
 		meta.Incremental = &IncrementalRequest{
@@ -163,8 +166,10 @@ func (d *durable) noteAdmitted(gen uint64, sample []float64) {
 		d.fail("wal append", err)
 		return
 	}
+	frameBytes := uint64(d.wal.Bytes() - before)
 	d.stats.WALFrames.Add(1)
-	d.stats.WALBytes.Add(uint64(d.wal.Bytes() - before))
+	d.stats.WALBytes.Add(frameBytes)
+	d.ins.walFrameBytes.Observe(frameBytes)
 	d.pushes++
 }
 
@@ -220,9 +225,12 @@ func (d *durable) checkpoint(sess *Session) error {
 	d.ckptGen = gen
 	d.pushes = 0
 	d.prune()
+	elapsed := time.Since(start)
 	d.stats.Checkpoints.Add(1)
 	d.stats.CheckpointBytes.Add(uint64(cw.n))
-	d.stats.CheckpointNanos.Add(int64(time.Since(start)))
+	d.stats.CheckpointNanos.Add(int64(elapsed))
+	d.ins.ckptNs.Observe(uint64(elapsed))
+	d.ins.ckptBytes.Observe(uint64(cw.n))
 	return nil
 }
 
@@ -455,8 +463,11 @@ replay:
 		return err
 	}
 	s.stats.RecoveredSessions.Add(1)
-	// Re-checkpoint at the recovered generation: the WAL suffix just
-	// replayed is folded in, and the session resumes with a clean segment.
+	// A recovered session is instrumented exactly like a created one
+	// (SetMetrics applies to the restored engine), then re-checkpointed at
+	// the recovered generation: the WAL suffix just replayed is folded in,
+	// and the session resumes with a clean segment.
+	s.attachMetrics(sess)
 	s.attachDurability(sess)
 	return nil
 }
@@ -487,6 +498,7 @@ func readMeta(dir string) (SessionConfig, pfg.Options, error) {
 		Workers:      meta.Workers,
 		RebuildEvery: meta.RebuildEvery,
 		Precision:    prec,
+		DriftCut:     meta.DriftCut,
 	}
 	if meta.Incremental != nil {
 		cfg.Incremental = pfg.IncrementalOptions{

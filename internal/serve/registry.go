@@ -23,6 +23,10 @@ type SessionConfig struct {
 	// Incremental opts the session's streamer into the incremental serving
 	// layer (see pfg.IncrementalOptions).
 	Incremental pfg.IncrementalOptions
+	// DriftCut is the flat-cut width the structure-drift signal compares
+	// consecutive generations at (0 = defaultDriftCut, clamped to the
+	// series count; see drift.go).
+	DriftCut int
 }
 
 // ringFloatsNeeded is a session's window-ring charge against maxRingFloats
@@ -74,6 +78,16 @@ type Session struct {
 	// outside any session lock.
 	lastStale atomic.Int64
 	lastDrift atomic.Uint64 // math.Float64bits
+
+	// met is the session's per-stage timing (attachMetrics); nil when the
+	// server runs without metrics and without a slow-tick threshold. An
+	// atomic pointer because the slow-tick log reads it from both the push
+	// path and clustering-run goroutines.
+	met atomic.Pointer[pfg.StreamerMetrics]
+
+	// drift tracks structure change between consecutive computed
+	// generations (see drift.go); updated on clustering-run goroutines.
+	drift driftTracker
 }
 
 // noteServed records the staleness metadata of a snapshot that was just

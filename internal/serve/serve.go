@@ -34,7 +34,9 @@
 //	                                    If-Generation / ?if_generation= + ?wait= for conditional reads
 //	GET    /v1/sessions/{id}/events     SSE subscription: snapshot/delta/dropped/bye events
 //	GET    /healthz                     liveness
-//	GET    /statsz                      counters, latencies, per-session state
+//	GET    /statsz                      counters, latencies, histogram digests, per-session state
+//	GET    /metricsz                    Prometheus text exposition of the same (internal/obs)
+//	GET    /driftz                      structure drift between consecutive clusterings (drift.go)
 //
 // Shutdown order for embedders: call Server.Drain (ends event streams and
 // parked long-polls — otherwise Shutdown waits on them forever), then stop
@@ -49,10 +51,18 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pfg/internal/ckpt"
+	"pfg/internal/obs"
 )
+
+// snapSampleEvery is the snapshot-request latency sampling period: 1 in
+// this many requests pays the two clock reads that feed
+// pfg_snapshot_request_ns (power of two; the sample test is one mask). See
+// handleSnapshot for the budget arithmetic.
+const snapSampleEvery = 8
 
 // Options configures a Server.
 type Options struct {
@@ -83,6 +93,20 @@ type Options struct {
 	// once per HTTP push batch), ckpt.SyncAlways (per frame), or
 	// ckpt.SyncNone (leave it to the OS).
 	Fsync ckpt.SyncPolicy
+
+	// MetricsOff disables the observability registry entirely: /metricsz
+	// serves an empty exposition, /driftz stops computing structure drift,
+	// /statsz omits the histograms field, and every hot-path instrument is
+	// nil (a no-op that reads no clock). It exists as the baseline the
+	// instrumented paths are benchmarked against; leave it false in
+	// production.
+	MetricsOff bool
+	// LogSlowTick, when positive, logs a one-line per-stage breakdown for
+	// any push batch or clustering run slower than the threshold (the
+	// -log-slow-tick flag of pfg-serve). Works with MetricsOff too: bare
+	// per-session stage timers are attached so Stage.Last is available
+	// without a registry.
+	LogSlowTick time.Duration
 }
 
 // Server is the serving state: the session registry, the admission
@@ -96,6 +120,16 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	start   time.Time
+
+	// obs is the metrics registry behind /metricsz (nil with MetricsOff:
+	// every instrument in ins is then nil, and nil instruments no-op). The
+	// Stats counters above stay authoritative; the registry mirrors them at
+	// scrape time and adds the distributions (ins). snapSeq sequences
+	// snapshot requests for the 1-in-snapSampleEvery latency sampling (see
+	// handleSnapshot).
+	obs     *obs.Registry
+	ins     instruments
+	snapSeq atomic.Uint64
 
 	// drainCh is closed by Drain: event streams end with a "bye" frame and
 	// parked long-polls return, so http.Server.Shutdown (which waits for
@@ -114,7 +148,7 @@ func New(opts Options) *Server {
 		opts.MaxBodyBytes = 8 << 20
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		opts:    opts,
 		reg:     newRegistry(),
 		sem:     make(chan struct{}, opts.MaxInflight),
@@ -123,6 +157,12 @@ func New(opts Options) *Server {
 		start:   time.Now(),
 		drainCh: make(chan struct{}),
 	}
+	if !opts.MetricsOff {
+		s.obs = obs.NewRegistry()
+	}
+	s.ins = newInstruments(s.obs)
+	s.registerStatFuncs()
+	return s
 }
 
 // Handler returns the server's HTTP routing table, fronted by a fast path
@@ -134,6 +174,8 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+	mux.HandleFunc("GET /driftz", s.handleDriftz)
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)

@@ -4,12 +4,16 @@ import (
 	"sync/atomic"
 
 	"pfg"
+	"pfg/internal/obs"
 )
 
 // Stats is the server's monotonic counter set, updated with atomics on the
 // request paths and reported by GET /statsz. Latency totals pair with their
-// counters so readers can derive means without a lock; the histograms a real
-// fleet would want hang off the same choke points.
+// counters so readers can derive means without a lock; the latency and size
+// distributions behind those same choke points live in the observability
+// registry (internal/obs, see obs.go) and surface as the /statsz histograms
+// field and the /metricsz exposition, which mirrors every counter here via
+// read-at-scrape callbacks so nothing is double-counted on the hot path.
 type Stats struct {
 	SessionsCreated atomic.Uint64
 	SessionsDeleted atomic.Uint64
@@ -57,7 +61,16 @@ type Stats struct {
 }
 
 // StatsSnapshot is the wire form of GET /statsz: the counter values at one
-// instant plus derived means and the per-session states.
+// instant plus derived means, histogram digests, and the per-session states.
+// Field groups, in order: process metadata (kernel_isa), session lifecycle
+// counts, the push path (admitted/rejected ticks and mean per-tick latency),
+// the snapshot path (request outcomes by cache disposition, run/encode
+// counts, mean run latency), conditional reads and long-polls, SSE delivery
+// (subscriber gauge, event/byte/drop counts, the delta hit ratio), the
+// durability pipeline (checkpoint/WAL volume, recovery outcomes, failure
+// counts), the incremental serving-layer totals, the histogram digests, and
+// per-session infos. Additions to this struct are backward-compatible wire
+// changes; removals and renames are not allowed.
 type StatsSnapshot struct {
 	// KernelISA is the compute-kernel backend this process selected at init
 	// ("avx2" or "scalar") — operational metadata, not a correctness signal:
@@ -119,6 +132,16 @@ type StatsSnapshot struct {
 	IncrementalFullsBoundary uint64 `json:"incremental_fulls_boundary"`
 	IncrementalFullsRepair   uint64 `json:"incremental_fulls_repair"`
 	IncrementalRepairs       uint64 `json:"incremental_repairs"`
+
+	// Histograms digests every server histogram (count/mean/p50/p95/p99;
+	// quantiles are log2-bucket estimates, see internal/obs). Keys:
+	// push_batch_ns, tick_{admit,roll,rebuild}_ns,
+	// snapshot_{hit,coalesced,miss}_ns, snapshot_run_ns,
+	// snapshot_{finish,cluster}_ns, inc_{drift,revalidate,refresh}_ns,
+	// checkpoint_write_ns, checkpoint_write_bytes, wal_frame_bytes,
+	// subscriber_queue_depth, drift_ari_distance_micros, drift_edge_churn.
+	// Omitted when the server runs with metrics off.
+	Histograms map[string]obs.Summary `json:"histograms,omitempty"`
 
 	SessionInfos []SessionInfo `json:"session_infos"`
 }

@@ -39,6 +39,11 @@ type CreateSessionRequest struct {
 	// back to an exact rebuild otherwise. An empty object selects the
 	// defaults. Not supported for method "pmfg-dbht".
 	Incremental *IncrementalRequest `json:"incremental,omitempty"`
+	// DriftCut is the flat-cut width the structure-drift signal (/driftz
+	// and the drift field of SSE snapshot/delta frames) compares
+	// consecutive generations at (0 = default 8, clamped to the series
+	// count).
+	DriftCut int `json:"drift_cut,omitempty"`
 }
 
 // IncrementalRequest configures the incremental serving layer of a session;
@@ -131,6 +136,13 @@ type SnapshotResponse struct {
 	// Generation stamps the window state the result was clustered from.
 	Generation uint64          `json:"generation"`
 	Result     *pfg.ResultJSON `json:"result"`
+	// Drift compares this generation's clustering structure against the
+	// previously computed generation's (see drift.go). It is set only on
+	// SSE "snapshot" frames, never on the GET /snapshot body: the GET body
+	// is a pure function of the window state (recovered processes serve
+	// byte-identical bodies), while the drift baseline is which generation
+	// this process clustered last — per-process serving history.
+	Drift *StructureDrift `json:"drift,omitempty"`
 }
 
 // DeltaResponse is the data payload of a "delta" event on
@@ -150,6 +162,9 @@ type DeltaResponse struct {
 	FromGeneration uint64               `json:"from_generation"`
 	Generation     uint64               `json:"generation"`
 	Delta          *pfg.ResultDeltaJSON `json:"delta"`
+	// Drift is the same structure-drift record the full snapshot body of
+	// Generation carries (absent when none was computed).
+	Drift *StructureDrift `json:"drift,omitempty"`
 }
 
 // DroppedEvent is the data payload of a "dropped" event: the subscriber's

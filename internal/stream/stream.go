@@ -51,8 +51,24 @@ import (
 	"pfg/internal/exec"
 	"pfg/internal/kernel"
 	"pfg/internal/matrix"
+	"pfg/internal/obs"
 	"pfg/internal/ws"
 )
+
+// Metrics is the engine's per-stage instrumentation: the three phases of a
+// tick's life. All stages may be nil (each no-ops); a nil *Metrics disables
+// timing entirely — the engine then never calls time.Now on the push path.
+type Metrics struct {
+	// Admit covers sample validation (shape, finiteness, magnitude bound).
+	Admit *obs.Stage
+	// Roll covers the rank-1 kernel work plus moment bookkeeping of an
+	// admitted push — the O(n²) heart of a tick (fill-phase panel folds
+	// included, periodic rebuilds excluded; those go to Rebuild).
+	Roll *obs.Stage
+	// Rebuild covers exact moment rebuilds — periodic drift discards,
+	// corruption repairs, and explicit Rebuild calls.
+	Rebuild *obs.Stage
+}
 
 // Precision selects the storage mode of an Engine's series ring and moment
 // band.
@@ -162,7 +178,8 @@ type Engine struct {
 
 	maxMag  float64 // sample magnitude bound keeping the band finite
 	w       *ws.Workspace
-	genHook func() // called synchronously after every generation advance (nil = none)
+	genHook func()   // called synchronously after every generation advance (nil = none)
+	met     *Metrics // per-stage timing, nil = uninstrumented (no time.Now on pushes)
 }
 
 // New creates an engine for n series over the given window in the given
@@ -261,6 +278,11 @@ func (e *Engine) SlidesSinceRebuild() int { return e.slides }
 // until Generation() moves past g.
 func (e *Engine) Generation() uint64 { return e.gen }
 
+// SetMetrics installs (or, with nil, removes) per-stage timing. Like every
+// other engine mutation it is the caller's job to serialize it against
+// Push/Rebuild; pfg.Streamer applies it under its write lock.
+func (e *Engine) SetMetrics(m *Metrics) { e.met = m }
+
 // SetGenHook registers fn to be called synchronously, on the writer's
 // goroutine, after every Generation advance — the watch hook push-based
 // serving layers key broadcasts on. Because the hook runs inside Push and
@@ -294,6 +316,12 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 	if len(x) != e.n {
 		return fmt.Errorf("stream: sample has %d values, want %d", len(x), e.n)
 	}
+	// Stage timing is straight-line and guarded — the uninstrumented path
+	// never calls time.Now and a rejected sample is never observed.
+	var sw obs.Stopwatch
+	if e.met != nil {
+		sw.Start()
+	}
 	for i, v := range x {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("stream: sample value %d is non-finite", i)
@@ -301,6 +329,9 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		if v > e.maxMag || v < -e.maxMag {
 			return fmt.Errorf("stream: sample value %d (%g) exceeds the magnitude bound %g for window %d (%s)", i, v, e.maxMag, e.window, e.prec)
 		}
+	}
+	if e.met != nil {
+		sw.Lap(e.met.Admit)
 	}
 	if e.corrupt {
 		// A previous cancelled kernel left the band half-applied (the ring
@@ -310,9 +341,12 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		if err := e.Rebuild(ctx, pool); err != nil {
 			return err
 		}
+		if e.met != nil {
+			sw.Start() // the repair timed itself under the Rebuild stage
+		}
 	}
 	if e.prec == Float32 {
-		return e.push32(ctx, pool, x)
+		return e.push32(ctx, pool, x, &sw)
 	}
 	slot := e.ring[e.head*e.n : e.head*e.n+e.n]
 	if e.count == e.window {
@@ -332,6 +366,9 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 		e.dirty = true
 		e.slides++
 		e.bumpGen()
+		if e.met != nil {
+			sw.Lap(e.met.Roll)
+		}
 		e.maybeRebuild(ctx, pool)
 		return nil
 	}
@@ -383,6 +420,9 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 	e.advanceHead()
 	e.count++
 	e.bumpGen()
+	if e.met != nil {
+		sw.Lap(e.met.Roll)
+	}
 	return nil
 }
 
@@ -390,8 +430,9 @@ func (e *Engine) Push(ctx context.Context, pool *exec.Pool, x []float64) error {
 // storage arithmetic, float64 sums. The incoming float64 sample is rounded
 // once to float32 (e.x32) and that rounded value is what the ring, the band
 // chain, and the sums all consume, so a rebuild from the ring reproduces the
-// incremental state bit-for-bit.
-func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error {
+// incremental state bit-for-bit. sw arrives started (when instrumented) with
+// the admit lap already taken.
+func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64, sw *obs.Stopwatch) error {
 	for i, v := range x {
 		e.x32[i] = float32(v)
 	}
@@ -411,6 +452,9 @@ func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error
 		e.dirty = true
 		e.slides++
 		e.bumpGen()
+		if e.met != nil {
+			sw.Lap(e.met.Roll)
+		}
 		e.maybeRebuild(ctx, pool)
 		return nil
 	}
@@ -427,6 +471,9 @@ func (e *Engine) push32(ctx context.Context, pool *exec.Pool, x []float64) error
 	e.advanceHead()
 	e.count++
 	e.bumpGen()
+	if e.met != nil {
+		sw.Lap(e.met.Roll)
+	}
 	return nil
 }
 
@@ -486,6 +533,10 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 	if e.prec == Float32 {
 		return e.rebuild32(ctx, pool)
 	}
+	var sw obs.Stopwatch
+	if e.met != nil {
+		sw.Start()
+	}
 	n, t := e.n, e.count
 	z := e.Linearize()
 	defer e.w.PutFloat64(z)
@@ -523,6 +574,9 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 		e.bumpGen()
 	}
 	e.slides, e.dirty, e.corrupt = 0, false, false
+	if e.met != nil {
+		sw.Lap(e.met.Rebuild)
+	}
 	return nil
 }
 
@@ -530,6 +584,10 @@ func (e *Engine) Rebuild(ctx context.Context, pool *exec.Pool) error {
 // over the linearized float32 ring, float64 sums folded from the rounded
 // ring values (matching what push32 accumulated).
 func (e *Engine) rebuild32(ctx context.Context, pool *exec.Pool) error {
+	var sw obs.Stopwatch
+	if e.met != nil {
+		sw.Start()
+	}
 	n, t := e.n, e.count
 	z := e.linearize32()
 	defer e.w.PutFloat32(z)
@@ -551,6 +609,9 @@ func (e *Engine) rebuild32(ctx context.Context, pool *exec.Pool) error {
 		e.bumpGen()
 	}
 	e.slides, e.dirty, e.corrupt = 0, false, false
+	if e.met != nil {
+		sw.Lap(e.met.Rebuild)
+	}
 	return nil
 }
 

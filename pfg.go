@@ -19,6 +19,7 @@ import (
 	"pfg/internal/kernel"
 	"pfg/internal/matrix"
 	"pfg/internal/metrics"
+	"pfg/internal/obs"
 	"pfg/internal/stream"
 	"pfg/internal/tmfg"
 	"pfg/internal/ws"
@@ -725,6 +726,52 @@ type IncrementalStats struct {
 	Repairs      uint64
 }
 
+// StreamerMetrics is a streamer's per-stage timing instrumentation,
+// installed with Streamer.SetMetrics. Each field is one pipeline stage (an
+// obs.Stage: a log2-bucketed duration histogram plus the most recent
+// duration, both optional); nil fields are skipped at zero cost, and with no
+// metrics installed the streamer never reads the clock on its hot paths. The
+// serving layer points the stages at shared server-level histograms; CLIs
+// that only want slow-tick breakdowns use NewStreamerMetrics (bare stages,
+// no histograms) and read Last per stage.
+type StreamerMetrics struct {
+	// Push stages (internal/stream): sample validation, the O(n²) rank-1
+	// roll + moment bookkeeping, and exact rebuilds (periodic, forced, or
+	// corruption repairs).
+	PushAdmit *obs.Stage
+	PushRoll  *obs.Stage
+	Rebuild   *obs.Stage
+
+	// Snapshot stages of the non-incremental path: finishing moments into
+	// correlation/dissimilarity matrices, then the clustering run.
+	SnapshotFinish  *obs.Stage
+	SnapshotCluster *obs.Stage
+
+	// Incremental gate-chain stages (internal/inc): the drift measurement,
+	// strict revalidation, and exact refreshes (which subsume finish +
+	// cluster for incremental sessions).
+	IncDrift      *obs.Stage
+	IncRevalidate *obs.Stage
+	IncRefresh    *obs.Stage
+}
+
+// NewStreamerMetrics returns a StreamerMetrics with every stage allocated
+// but no histograms attached: each stage records only its most recent
+// duration (Stage.Last) — what a CLI -log-slow-tick breakdown needs without
+// carrying a registry.
+func NewStreamerMetrics() *StreamerMetrics {
+	return &StreamerMetrics{
+		PushAdmit:       obs.NewStage(nil),
+		PushRoll:        obs.NewStage(nil),
+		Rebuild:         obs.NewStage(nil),
+		SnapshotFinish:  obs.NewStage(nil),
+		SnapshotCluster: obs.NewStage(nil),
+		IncDrift:        obs.NewStage(nil),
+		IncRevalidate:   obs.NewStage(nil),
+		IncRefresh:      obs.NewStage(nil),
+	}
+}
+
 // Streamer is the stateful serving layer over the batch pipeline: it
 // maintains rolling-window Pearson moments incrementally (O(n²) per Push
 // instead of the O(n²·T) batch correlation recompute) and clusters the
@@ -752,8 +799,9 @@ type Streamer struct {
 	pool    *exec.Pool
 	ownPool bool
 	w       *ws.Workspace
-	eng     *stream.Engine // created by the first Push
-	inc     *inc.Manager   // non-nil iff Incremental.Enabled
+	eng     *stream.Engine   // created by the first Push
+	inc     *inc.Manager     // non-nil iff Incremental.Enabled
+	met     *StreamerMetrics // per-stage timing, nil = uninstrumented
 	closed  bool
 
 	// watchMu guards watchCh, the close-and-replace notification channel
@@ -840,6 +888,9 @@ func (st *Streamer) Push(sample []float64) error {
 			return err
 		}
 		eng.SetGenHook(st.notifyWatch)
+		if st.met != nil {
+			eng.SetMetrics(streamMetrics(st.met))
+		}
 		if err := eng.Push(context.Background(), st.pool, sample); err != nil {
 			eng.Release()
 			return err
@@ -848,6 +899,45 @@ func (st *Streamer) Push(sample []float64) error {
 		return nil
 	}
 	return st.eng.Push(context.Background(), st.pool, sample)
+}
+
+// streamMetrics projects the push-side stages into the engine's metrics
+// struct.
+func streamMetrics(m *StreamerMetrics) *stream.Metrics {
+	return &stream.Metrics{Admit: m.PushAdmit, Roll: m.PushRoll, Rebuild: m.Rebuild}
+}
+
+// SetMetrics installs (or, with nil, removes) per-stage timing
+// instrumentation. It takes the write lock, so it serializes with pushes and
+// snapshots and can be called at any point in the streamer's life — the
+// serving layer installs metrics right after creating or restoring a
+// session. The streamer keeps the pointer; the caller may read stage values
+// concurrently (stages are atomic).
+func (st *Streamer) SetMetrics(m *StreamerMetrics) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.met = m
+	if st.eng != nil {
+		if m == nil {
+			st.eng.SetMetrics(nil)
+		} else {
+			st.eng.SetMetrics(streamMetrics(m))
+		}
+	}
+	if st.inc != nil {
+		if m == nil {
+			st.inc.SetMetrics(nil)
+		} else {
+			st.inc.SetMetrics(&inc.Metrics{Drift: m.IncDrift, Revalidate: m.IncRevalidate, Refresh: m.IncRefresh})
+		}
+	}
+}
+
+// Metrics returns the installed stage-timing set (nil when uninstrumented).
+func (st *Streamer) Metrics() *StreamerMetrics {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.met
 }
 
 // Snapshot clusters the current window with the streamer's Options,
@@ -887,6 +977,7 @@ func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 	}
 	gen := st.eng.Generation()
 	exact := st.eng.Exact()
+	met := st.met
 	sim := matrix.NewSymWS(st.w, n)
 	sums := st.w.Float64(n)
 	count, err := st.eng.CopyState(sim.Data, sums)
@@ -914,6 +1005,10 @@ func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 		}, gen, nil
 	}
 
+	var sw obs.Stopwatch
+	if met != nil {
+		sw.Start()
+	}
 	dis := matrix.NewSymWS(st.w, n)
 	err = matrix.FinishMomentsWS(ctx, st.pool, st.w, sim, dis, sums, count)
 	st.w.PutFloat64(sums)
@@ -922,9 +1017,15 @@ func (st *Streamer) SnapshotGen(ctx context.Context) (*Result, uint64, error) {
 		dis.Release(st.w)
 		return nil, 0, err
 	}
+	if met != nil {
+		sw.Lap(met.SnapshotFinish)
+	}
 	r, err := clusterMatrixOn(ctx, st.pool, st.w, sim, dis, st.opts.Cluster)
 	sim.Release(st.w)
 	dis.Release(st.w)
+	if met != nil && err == nil {
+		sw.Lap(met.SnapshotCluster)
+	}
 	return r, gen, err
 }
 
